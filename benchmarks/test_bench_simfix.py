@@ -1,0 +1,35 @@
+"""§5 extension bench: simulation-error (logic) debugging.
+
+The paper's preliminary study: feeding waveform-style simulation
+feedback to the LLM fixes logic bugs on *simple* problems but struggles
+on complex ones.  This bench regenerates that finding.
+"""
+
+from conftest import report
+
+from repro.dataset import verilogeval
+from repro.eval.experiments import run_simfix_extension
+
+
+def test_simfix_extension(benchmark, profile):
+    result = benchmark.pedantic(
+        run_simfix_extension,
+        kwargs={
+            "problems": verilogeval(),
+            "samples_per_problem": max(2, profile.repeats),
+            "sim_samples": profile.sim_samples,
+        },
+        rounds=1, iterations=1,
+    )
+    report("§5 extension (simulation-error debugging)", result.render())
+
+    easy = result.fix_rate("easy")
+    hard = result.fix_rate("hard")
+    attempted_easy, _ = result.by_difficulty["easy"]
+    attempted_hard, _ = result.by_difficulty["hard"]
+    assert attempted_easy > 0 and attempted_hard > 0
+    # Works on simple problems...
+    assert easy > 0.30
+    # ...struggles on hard ones (the paper's "limited improvements").
+    assert hard < easy
+    assert hard < 0.45

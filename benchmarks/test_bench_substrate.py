@@ -1,0 +1,69 @@
+"""Substrate microbenchmarks: compiler and simulator throughput.
+
+Unlike the table/figure benches (pedantic single runs of whole
+experiments), these measure the hot paths the experiments are built on,
+so performance regressions in the front-end or the simulation kernel
+show up directly.
+"""
+
+from repro.dataset import verilogeval
+from repro.diagnostics import compile_source
+from repro.sim import Simulator, run_differential
+
+CORPUS = verilogeval()
+COMB = CORPUS.get("vector_reverse32")
+SEQ = CORPUS.get("counter_load")
+FSM = CORPUS.get("fsm_seq101")
+
+
+def test_compile_throughput_comb(benchmark):
+    result = benchmark(compile_source, COMB.reference)
+    assert result.ok
+
+
+def test_compile_throughput_fsm(benchmark):
+    result = benchmark(compile_source, FSM.reference)
+    assert result.ok
+
+
+def test_compile_error_path(benchmark):
+    broken = SEQ.reference.replace("assign", "asign").replace(";", "", 1)
+
+    def run():
+        return compile_source(broken, flavor="quartus")
+
+    result = benchmark(run)
+    assert not result.ok
+
+
+def test_simulator_construction(benchmark):
+    elab = compile_source(SEQ.reference).elaborated
+
+    sim = benchmark(Simulator, elab)
+    assert sim.top.name == "top_module"
+
+
+def test_sequential_cycles_per_second(benchmark):
+    elab = compile_source(SEQ.reference).elaborated
+    sim = Simulator(elab)
+    sim.step({"clk": 0, "reset": 1, "load": 0, "d": 0})
+    sim.step({"clk": 1})
+    sim.step({"reset": 0})
+
+    def ten_cycles():
+        for _ in range(10):
+            sim.step({"clk": 0})
+            sim.step({"clk": 1})
+
+    benchmark(ten_cycles)
+    assert sim.get("q").is_fully_known
+
+
+def test_differential_testbench(benchmark):
+    elab = compile_source(COMB.reference).elaborated
+
+    def run():
+        return run_differential(elab, elab, samples=16)
+
+    result = benchmark(run)
+    assert result.passed

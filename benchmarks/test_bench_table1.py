@@ -1,0 +1,49 @@
+"""Table 1: fix rate for One-shot vs ReAct, w/ and w/o RAG, across
+feedback qualities (Simple / iverilog / Quartus), plus the GPT-4 column.
+
+Regenerates every cell of the paper's Table 1 and checks the paper's
+qualitative claims hold:
+
+* ReAct beats One-shot in every feedback/RAG setting;
+* RAG improves both prompting modes;
+* feedback quality orders Simple < iverilog <= Quartus;
+* GPT-4 outperforms GPT-3.5 and nearly saturates with RAG.
+"""
+
+from conftest import report
+
+from repro.eval import run_table1
+
+
+def test_table1_fix_rates(benchmark, syntax_dataset, profile):
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={"dataset": syntax_dataset, "repeats": profile.repeats},
+        rounds=1, iterations=1,
+    )
+    report("Table 1 (fix rate on VerilogEval-syntax)", result.render())
+
+    rates = result.rates
+    for compiler in ("simple", "iverilog", "quartus"):
+        assert (
+            rates[("react", compiler, False)] > rates[("oneshot", compiler, False)]
+        ), f"ReAct must beat One-shot on {compiler}"
+    for prompting in ("oneshot", "react"):
+        for compiler in ("iverilog", "quartus"):
+            assert (
+                rates[(prompting, compiler, True)] > rates[(prompting, compiler, False)]
+            ), f"RAG must help {prompting}+{compiler}"
+        assert (
+            rates[(prompting, "simple", False)] <= rates[(prompting, "iverilog", False)] + 0.02
+        )
+        assert (
+            rates[(prompting, "iverilog", False)] <= rates[(prompting, "quartus", False)] + 0.03
+        )
+    # GPT-4 column: stronger model, and its one-shot/react gap is small.
+    assert rates[("react-gpt4", "quartus", False)] > rates[("react", "quartus", False)]
+    gap_gpt4 = (
+        rates[("react-gpt4", "quartus", True)] - rates[("oneshot-gpt4", "quartus", True)]
+    )
+    assert gap_gpt4 < 0.10
+    # Headline: the best configuration fixes nearly everything.
+    assert rates[("react", "quartus", True)] > 0.90

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Mini Table 1: build a slice of the VerilogEval-syntax dataset and
+compare One-shot vs ReAct, with and without RAG, across feedback levels.
+
+This is the full benchmark pipeline scaled down to run in ~1 minute;
+``pytest benchmarks/test_bench_table1.py --benchmark-only`` runs the
+full-size version.
+
+Run:  python examples/fix_verilogeval.py
+"""
+
+from repro.core import RTLFixer
+from repro.dataset import build_syntax_dataset, verilogeval
+from repro.eval import render_table, run_fix_experiment
+
+
+def main() -> None:
+    dataset = build_syntax_dataset(
+        verilogeval(), samples_per_problem=6, target_size=60, seed=0
+    )
+    print(f"dataset: {len(dataset)} erroneous implementations")
+    print("error categories:", dict(dataset.category_histogram()))
+    print()
+
+    rows = []
+    for prompting in ("oneshot", "react"):
+        for compiler in ("simple", "iverilog", "quartus"):
+            for use_rag in (False, True):
+                if compiler == "simple" and use_rag:
+                    continue
+                fixer = RTLFixer(
+                    prompting=prompting, compiler=compiler, use_rag=use_rag
+                )
+                run = run_fix_experiment(dataset, fixer, repeats=2)
+                rows.append([
+                    prompting, compiler, "w/" if use_rag else "w/o", run.rate,
+                ])
+                print(f"  {prompting:8s} {compiler:9s} "
+                      f"{'w/ ' if use_rag else 'w/o'} RAG: {run.rate:.3f}")
+
+    print()
+    print(render_table(["prompt", "feedback", "RAG", "fix rate"], rows,
+                       title="Mini Table 1 (2 trials per entry)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: fix one syntactically broken Verilog module.
+
+The example reproduces the paper's Fig. 5 scenario: the generated module
+clocks on ``clk`` but never declared it.  RTLFixer compiles the code,
+reads the Quartus-style error, retrieves human expert guidance from the
+RAG database, and repairs the module with a ReAct loop.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import RTLFixer
+from repro.diagnostics import compile_source
+
+BROKEN = """\
+module top_module (
+  input [99:0] in,
+  output reg [99:0] out
+);
+always @(posedge clk) begin
+  out <= in;
+end
+endmodule
+"""
+
+
+def main() -> None:
+    print("=== erroneous implementation ===")
+    print(BROKEN)
+
+    print("=== compiler says (Quartus flavour) ===")
+    print(compile_source(BROKEN, flavor="quartus").log)
+    print()
+
+    fixer = RTLFixer()  # defaults: ReAct + RAG + Quartus feedback
+    result = fixer.fix(BROKEN)
+
+    print("=== ReAct transcript ===")
+    print(result.transcript.render())
+    print()
+
+    print(f"=== outcome: {'FIXED' if result.success else 'FAILED'} "
+          f"in {result.iterations} iteration(s) ===")
+    print(result.final_code)
+
+    check = compile_source(result.final_code)
+    print(f"final compile: {'OK' if check.ok else check.log}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+# Kept alongside pyproject.toml so `python setup.py develop` works on
+# fully offline machines that lack the `wheel` package (PEP 660 editable
+# installs need it).
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""repro: a full reproduction of RTLFixer (DAC 2024).
+
+RTLFixer fixes syntax errors in LLM-generated Verilog by letting a
+language model act as an autonomous agent: it compiles the code, reads
+the error log, retrieves human expert guidance from a RAG database, and
+iteratively revises the code (ReAct prompting) until compilation
+succeeds.
+
+Public entry points:
+
+* :class:`repro.core.RTLFixer` -- the debugging framework itself;
+* :func:`repro.diagnostics.compile_source` -- the Verilog compiler facade
+  (iverilog-style or Quartus-style feedback);
+* :mod:`repro.dataset` -- VerilogEval-style corpora, the error injector
+  and the VerilogEval-syntax dataset builder;
+* :mod:`repro.eval` -- fix-rate / pass@k metrics and the experiment
+  drivers that regenerate every table and figure of the paper.
+"""
+
+from ._version import __version__
+
+__all__ = ["__version__"]

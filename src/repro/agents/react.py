@@ -1,0 +1,119 @@
+"""The ReAct debugging agent (paper §3.2).
+
+The agent owns the loop: compile, read feedback, optionally retrieve
+expert guidance (the RAG action), ask the model for a Thought + revised
+code, recompile.  It stops on success (Finish action), when the model
+declares itself done, or after ``max_iterations`` Thought-Action-
+Observation rounds (the paper uses 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..diagnostics import Compiler
+from ..llm.base import RepairModel
+from ..rag.retrievers import Retriever
+from .transcript import Transcript
+
+DEFAULT_MAX_ITERATIONS = 10
+
+
+@dataclass
+class AgentResult:
+    """Outcome of one debugging run."""
+
+    success: bool
+    final_code: str
+    #: Number of code revisions submitted to the compiler (0 when the
+    #: input already compiled).
+    iterations: int
+    transcript: Transcript = field(default_factory=Transcript)
+
+    @property
+    def gave_up(self) -> bool:
+        return not self.success
+
+
+class ReActAgent:
+    """LLM-as-autonomous-agent with Compiler / RAG / Finish actions."""
+
+    def __init__(
+        self,
+        model: RepairModel,
+        compiler: Compiler,
+        retriever: Optional[Retriever] = None,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        apply_rule_fix: bool = True,
+    ):
+        self.model = model
+        self.compiler = compiler
+        self.retriever = retriever
+        self.max_iterations = max_iterations
+        self.apply_rule_fix = apply_rule_fix
+
+    def run(self, code: str, description: str = "") -> AgentResult:
+        """Debug ``code`` with the ReAct loop until it compiles or the
+        iteration budget runs out."""
+        from ..core.rulefix import rule_fix  # deferred: avoids an import
+        # cycle (repro.core.fixer builds agents)
+
+        transcript = Transcript()
+        if self.apply_rule_fix:
+            code = rule_fix(code).code
+
+        result = self.compiler.compile(code)
+        if result.ok:
+            transcript.add(
+                thought="The module compiles cleanly; no repair needed.",
+                action="Finish", action_input="answer", observation="",
+            )
+            return AgentResult(success=True, final_code=code, iterations=0,
+                               transcript=transcript)
+
+        session = self.model.start(
+            code, flavor=self.compiler.flavor, use_rag=self.retriever is not None
+        )
+
+        iterations = 0
+        for _ in range(self.max_iterations):
+            feedback = result.log
+            guidance = []
+            if self.retriever is not None and feedback:
+                guidance = [r.entry for r in self.retriever.retrieve(feedback)]
+                if guidance:
+                    transcript.add(
+                        thought="I should look up expert guidance for this "
+                        "compiler log.",
+                        action="RAG",
+                        action_input=feedback.split("\n")[0],
+                        observation=guidance[0].guidance,
+                    )
+
+            step = session.step(code, feedback, guidance)
+            iterations += 1
+            code = step.code
+            result = self.compiler.compile(code)
+            transcript.add(
+                thought=step.thought,
+                action="Compiler",
+                action_input=_head(code),
+                observation=result.log,
+            )
+            if result.ok:
+                transcript.add(
+                    thought="The compiler reports no errors; the syntax "
+                    "error is resolved.",
+                    action="Finish", action_input="answer", observation="",
+                )
+                return AgentResult(success=True, final_code=code,
+                                   iterations=iterations, transcript=transcript)
+            if step.declared_done:
+                break
+        return AgentResult(success=False, final_code=code,
+                           iterations=iterations, transcript=transcript)
+
+
+def _head(code: str, lines: int = 3) -> str:
+    return "\n".join(code.strip().split("\n")[:lines])

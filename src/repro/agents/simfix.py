@@ -1,0 +1,110 @@
+"""Simulation-error debugging agent (paper §5 extension).
+
+Adapts the ReAct loop to *functional* bugs: the Compiler action is
+replaced by a Simulator action whose observation is the §5 feedback
+message (mismatch count + waveform-style comparison).  The loop accepts
+a candidate edit only if it strictly reduces the mismatch count, and
+finishes when the differential testbench passes.
+
+Note the evaluation asymmetry the paper glosses over: judging functional
+correctness requires the benchmark's golden model, so this agent (like
+the paper's preliminary study) is a *benchmark-harness* tool, not a
+deployable flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..diagnostics import compile_source
+from ..llm.simfix import SimulatedLogicDebugger
+from ..sim.feedback import make_sim_feedback
+from .transcript import Transcript
+
+
+@dataclass
+class SimFixResult:
+    success: bool
+    final_code: str
+    iterations: int
+    initial_mismatches: int = 0
+    final_mismatches: int = 0
+    transcript: Transcript = field(default_factory=Transcript)
+
+
+class SimDebugAgent:
+    """Iterative logic debugging against a golden reference."""
+
+    def __init__(
+        self,
+        model: SimulatedLogicDebugger | None = None,
+        max_iterations: int = 8,
+        sim_samples: int = 16,
+    ):
+        self.model = model or SimulatedLogicDebugger()
+        self.max_iterations = max_iterations
+        self.sim_samples = sim_samples
+
+    def run(
+        self, code: str, reference_code: str, difficulty: str = "hard"
+    ) -> SimFixResult:
+        transcript = Transcript()
+        reference = compile_source(reference_code).elaborated
+        compiled = compile_source(code)
+        if not compiled.ok or compiled.elaborated is None or reference is None:
+            return SimFixResult(
+                success=False, final_code=code, iterations=0,
+                transcript=transcript,
+            )
+
+        feedback = make_sim_feedback(
+            compiled.elaborated, reference, samples=self.sim_samples
+        )
+        best_code = code
+        best_mismatches = feedback.mismatch_count
+        initial = feedback.mismatch_count
+        if feedback.passed:
+            return SimFixResult(
+                success=True, final_code=code, iterations=0,
+                initial_mismatches=0, final_mismatches=0, transcript=transcript,
+            )
+
+        session = self.model.start(code, difficulty)
+        iterations = 0
+        for _ in range(self.max_iterations):
+            step = session.step(best_code, feedback.text)
+            if step.declared_done and step.code == best_code:
+                transcript.add(step.thought, "Finish", "give up", feedback.text)
+                break
+            iterations += 1
+            compiled = compile_source(step.code)
+            if not compiled.ok or compiled.elaborated is None:
+                transcript.add(step.thought, "Simulator", _head(step.code),
+                               "edit broke compilation; reverted")
+                continue
+            candidate_feedback = make_sim_feedback(
+                compiled.elaborated, reference, samples=self.sim_samples
+            )
+            transcript.add(
+                step.thought, "Simulator", _head(step.code),
+                candidate_feedback.text.split("\n")[0],
+            )
+            if candidate_feedback.passed:
+                return SimFixResult(
+                    success=True, final_code=step.code, iterations=iterations,
+                    initial_mismatches=initial, final_mismatches=0,
+                    transcript=transcript,
+                )
+            if candidate_feedback.mismatch_count < best_mismatches:
+                best_code = step.code
+                best_mismatches = candidate_feedback.mismatch_count
+                feedback = candidate_feedback
+        return SimFixResult(
+            success=False, final_code=best_code, iterations=iterations,
+            initial_mismatches=initial, final_mismatches=best_mismatches,
+            transcript=transcript,
+        )
+
+
+def _head(code: str, lines: int = 2) -> str:
+    return "\n".join(code.strip().split("\n")[:lines])

@@ -1,0 +1,119 @@
+"""Command-line interface: ``rtlfixer``.
+
+Subcommands:
+
+* ``fix <file.v>``      -- debug a Verilog file with RTLFixer;
+* ``compile <file.v>``  -- show compiler diagnostics (pick a flavour);
+* ``dataset <out.json>``-- build the VerilogEval-syntax-equivalent
+  dataset and save it as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_fix(args: argparse.Namespace) -> int:
+    from .core import RTLFixer
+
+    with open(args.file) as f:
+        code = f.read()
+    fixer = RTLFixer(
+        prompting=args.prompting,
+        compiler=args.compiler,
+        use_rag=not args.no_rag and args.compiler != "simple",
+        tier=args.tier,
+        seed=args.seed,
+    )
+    result = fixer.fix(code)
+    if args.transcript:
+        print(result.transcript.render())
+        print()
+    if result.success:
+        print(f"# fixed in {result.iterations} iteration(s)")
+        print(result.final_code)
+        return 0
+    print("# could not fix; final attempt was:")
+    print(result.final_code)
+    return 1
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .diagnostics import compile_source
+
+    with open(args.file) as f:
+        code = f.read()
+    result = compile_source(code, name=args.file, flavor=args.compiler)
+    if result.ok:
+        print("compile OK")
+        return 0
+    print(result.log)
+    return 1
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from .dataset import build_syntax_dataset, verilogeval
+
+    dataset = build_syntax_dataset(
+        verilogeval(),
+        samples_per_problem=args.samples,
+        target_size=args.size,
+        seed=args.seed,
+    )
+    dataset.save(args.out)
+    stats = dataset.stats
+    print(f"wrote {len(dataset)} entries to {args.out}")
+    print(
+        f"sampled={stats.sampled} failing={stats.failing_kept} "
+        f"clusters={stats.clusters}"
+    )
+    for category, count in dataset.category_histogram().items():
+        print(f"  {category}: {count}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the rtlfixer argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="rtlfixer",
+        description="RTLFixer: automatic Verilog syntax-error fixing "
+        "(DAC 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fix = sub.add_parser("fix", help="debug a Verilog file")
+    fix.add_argument("file")
+    fix.add_argument("--prompting", choices=["react", "oneshot"], default="react")
+    fix.add_argument("--compiler", choices=["simple", "iverilog", "quartus"],
+                     default="quartus")
+    fix.add_argument("--no-rag", action="store_true")
+    fix.add_argument("--tier", default="gpt-3.5-sim")
+    fix.add_argument("--seed", type=int, default=0)
+    fix.add_argument("--transcript", action="store_true",
+                     help="print the ReAct Thought/Action/Observation trace")
+    fix.set_defaults(func=_cmd_fix)
+
+    comp = sub.add_parser("compile", help="compile and show diagnostics")
+    comp.add_argument("file")
+    comp.add_argument("--compiler", choices=["simple", "iverilog", "quartus"],
+                      default="iverilog")
+    comp.set_defaults(func=_cmd_compile)
+
+    ds = sub.add_parser("dataset", help="build the VerilogEval-syntax dataset")
+    ds.add_argument("out")
+    ds.add_argument("--samples", type=int, default=20)
+    ds.add_argument("--size", type=int, default=212)
+    ds.add_argument("--seed", type=int, default=0)
+    ds.set_defaults(func=_cmd_dataset)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Core framework: the RTLFixer API, its configuration, and the
+rule-based pre-fixer."""
+
+from .config import RTLFixerConfig
+from .fixer import RTLFixer
+from .rulefix import RuleFixResult, extract_code, rule_fix, validate_module_text
+
+__all__ = [
+    "RTLFixer",
+    "RTLFixerConfig",
+    "RuleFixResult",
+    "extract_code",
+    "rule_fix",
+    "validate_module_text",
+]

@@ -1,0 +1,45 @@
+"""Configuration for the RTLFixer framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..agents.react import DEFAULT_MAX_ITERATIONS
+
+
+@dataclass(frozen=True)
+class RTLFixerConfig:
+    """Everything that varies across the paper's experiments.
+
+    Defaults match the paper's best configuration: ReAct prompting with
+    RAG over Quartus-quality feedback, gpt-3.5 persona, temperature 0.4,
+    at most 10 Thought-Action-Observation iterations.
+    """
+
+    prompting: str = "react"  # "react" | "oneshot"
+    compiler: str = "quartus"  # "simple" | "iverilog" | "quartus"
+    use_rag: bool = True
+    retriever: str = "exact"  # "exact" | "fuzzy" | "jaccard" | "tfidf"
+    tier: str = "gpt-3.5-sim"  # "gpt-3.5-sim" | "gpt-4-sim"
+    temperature: float = 0.4
+    max_iterations: int = DEFAULT_MAX_ITERATIONS
+    apply_rule_fix: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.prompting not in ("react", "oneshot"):
+            raise ValueError(f"prompting must be react|oneshot, got {self.prompting!r}")
+        if self.compiler not in ("simple", "iverilog", "quartus"):
+            raise ValueError(f"unknown compiler {self.compiler!r}")
+        if self.use_rag and self.compiler == "simple":
+            raise ValueError(
+                "RAG requires a compiler log to retrieve against; the "
+                "'simple' feedback setting cannot use RAG (as in Table 1)"
+            )
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+
+    def label(self) -> str:
+        """Human-readable configuration summary for reports."""
+        rag = "w/ RAG" if self.use_rag else "w/o RAG"
+        return f"{self.prompting}+{self.compiler} {rag} ({self.tier})"

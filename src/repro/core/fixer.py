@@ -1,0 +1,91 @@
+"""RTLFixer: the public entry point of the framework (paper §3.1).
+
+Wires together the compiler facade, the RAG database + retriever, the
+(simulated or API-backed) LLM, and the chosen prompting strategy.
+
+>>> from repro.core import RTLFixer
+>>> fixer = RTLFixer()                       # ReAct + RAG + Quartus
+>>> result = fixer.fix(broken_verilog)
+>>> result.success, result.iterations
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..agents.oneshot import OneShotAgent
+from ..agents.react import AgentResult, ReActAgent
+from ..diagnostics import Compiler
+from ..llm.base import RepairModel
+from ..llm.simulated import SimulatedLLM
+from ..rag.database import GuidanceDatabase
+from ..rag.guidance_data import build_default_database
+from ..rag.retrievers import Retriever, make_retriever
+from .config import RTLFixerConfig
+
+
+class RTLFixer:
+    """Automatic syntax-error fixing for Verilog with LLM agents."""
+
+    def __init__(
+        self,
+        config: Optional[RTLFixerConfig] = None,
+        model: Optional[RepairModel] = None,
+        database: Optional[GuidanceDatabase] = None,
+        **overrides,
+    ):
+        """``overrides`` are RTLFixerConfig fields, e.g.
+        ``RTLFixer(prompting="oneshot", compiler="iverilog")``."""
+        if config is None:
+            config = RTLFixerConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or field overrides, not both")
+        self.config = config
+        self.compiler = Compiler(flavor=config.compiler)
+        self.database = database or build_default_database()
+        self.model: RepairModel = model or SimulatedLLM(
+            tier=config.tier, temperature=config.temperature, seed=config.seed
+        )
+
+        self.retriever: Optional[Retriever] = None
+        if config.use_rag:
+            self.retriever = make_retriever(
+                config.retriever, self.database, config.compiler
+            )
+
+        if config.prompting == "react":
+            self.agent = ReActAgent(
+                model=self.model,
+                compiler=self.compiler,
+                retriever=self.retriever,
+                max_iterations=config.max_iterations,
+                apply_rule_fix=config.apply_rule_fix,
+            )
+        else:
+            self.agent = OneShotAgent(
+                model=self.model,
+                compiler=self.compiler,
+                retriever=self.retriever,
+                apply_rule_fix=config.apply_rule_fix,
+            )
+
+    def fix(self, code: str, description: str = "") -> AgentResult:
+        """Debug one erroneous implementation until it compiles (or the
+        iteration budget runs out)."""
+        return self.agent.run(code, description=description)
+
+    def with_seed(self, seed: int) -> "RTLFixer":
+        """A copy of this fixer with a different sampling seed (used for
+        the paper's n=10 repeated trials)."""
+        config = RTLFixerConfig(
+            prompting=self.config.prompting,
+            compiler=self.config.compiler,
+            use_rag=self.config.use_rag,
+            retriever=self.config.retriever,
+            tier=self.config.tier,
+            temperature=self.config.temperature,
+            max_iterations=self.config.max_iterations,
+            apply_rule_fix=self.config.apply_rule_fix,
+            seed=seed,
+        )
+        return RTLFixer(config=config, database=self.database)

@@ -1,0 +1,49 @@
+"""Datasets: VerilogEval-style corpora, simulated LLM sampling, error
+injection, and the VerilogEval-syntax curation pipeline (§3.4)."""
+
+from .cluster import (
+    DBSCANResult,
+    cluster_codes,
+    dbscan,
+    jaccard_distance,
+    shingles,
+)
+from .corpus import verilogeval
+from .curate import (
+    PAPER_DATASET_SIZE,
+    CurationStats,
+    SyntaxDataset,
+    SyntaxEntry,
+    build_syntax_dataset,
+)
+from .generate import CodeSample, GenerationModel, logic_rate
+from .inject import TRANSFORMS, ErrorInjector, Injection, verify_injection
+from .mutate import MUTATIONS, mutate_logic
+from .problem import Problem, ProblemSet
+from .rtllm import rtllm
+
+__all__ = [
+    "CodeSample",
+    "CurationStats",
+    "DBSCANResult",
+    "ErrorInjector",
+    "GenerationModel",
+    "Injection",
+    "MUTATIONS",
+    "PAPER_DATASET_SIZE",
+    "Problem",
+    "ProblemSet",
+    "SyntaxDataset",
+    "SyntaxEntry",
+    "TRANSFORMS",
+    "build_syntax_dataset",
+    "cluster_codes",
+    "dbscan",
+    "jaccard_distance",
+    "logic_rate",
+    "mutate_logic",
+    "rtllm",
+    "shingles",
+    "verify_injection",
+    "verilogeval",
+]

@@ -1,0 +1,27 @@
+"""Problem corpora.
+
+:func:`verilogeval` returns the VerilogEval-style problem set (the
+human/machine descriptions live on each problem); :func:`rtllm` (in
+:mod:`repro.dataset.rtllm`) provides the larger multi-module designs for
+the generalization experiment (Table 3).
+"""
+
+from __future__ import annotations
+
+from ..problem import ProblemSet
+from . import problems_arith, problems_comb, problems_fsm, problems_seq, problems_seq2
+
+
+def verilogeval() -> ProblemSet:
+    """The VerilogEval-style corpus: combinational + arithmetic +
+    sequential + FSM problems."""
+    problem_set = ProblemSet(name="verilogeval")
+    for module in (
+        problems_comb, problems_arith, problems_seq, problems_seq2, problems_fsm,
+    ):
+        for problem in module.PROBLEMS:
+            problem_set.add(problem)
+    return problem_set
+
+
+__all__ = ["verilogeval"]

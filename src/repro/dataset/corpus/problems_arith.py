@@ -1,0 +1,244 @@
+"""Arithmetic and word-level combinational problems (corpus extension)."""
+
+from __future__ import annotations
+
+from ..problem import Problem
+
+
+def _p(**kwargs) -> Problem:
+    return Problem(**kwargs)
+
+
+PROBLEMS: list[Problem] = [
+    _p(
+        id="add_sub16",
+        human_desc=(
+            "Build a 16-bit adder-subtractor: when sub is 1 compute a - b, else "
+            "a + b, using two's-complement (invert b and feed sub as carry-in)."
+        ),
+        machine_desc="Assign out = a + (b XOR {16 copies of sub}) + sub.",
+        header=(
+            "module top_module (\n  input [15:0] a,\n  input [15:0] b,\n"
+            "  input sub,\n  output [15:0] out\n);"
+        ),
+        reference=(
+            "module top_module (\n  input [15:0] a,\n  input [15:0] b,\n"
+            "  input sub,\n  output [15:0] out\n);\n"
+            "assign out = a + (b ^ {16{sub}}) + sub;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.6,
+    ),
+    _p(
+        id="max3_u8",
+        human_desc="Output the maximum of three unsigned 8-bit inputs.",
+        machine_desc=(
+            "Use a wire m = a > b ? a : b, then assign max = m > c ? m : c."
+        ),
+        header=(
+            "module top_module (\n  input [7:0] a,\n  input [7:0] b,\n"
+            "  input [7:0] c,\n  output [7:0] max\n);"
+        ),
+        reference=(
+            "module top_module (\n  input [7:0] a,\n  input [7:0] b,\n"
+            "  input [7:0] c,\n  output [7:0] max\n);\n"
+            "wire [7:0] m;\n"
+            "assign m = (a > b) ? a : b;\n"
+            "assign max = (m > c) ? m : c;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.7,
+    ),
+    _p(
+        id="parity_gen9",
+        human_desc=(
+            "Append an odd-parity bit to an 8-bit byte so the 9-bit result always "
+            "has an odd number of ones."
+        ),
+        machine_desc="Assign out = {~(^in), in}.",
+        header="module top_module (\n  input [7:0] in,\n  output [8:0] out\n);",
+        reference=(
+            "module top_module (\n  input [7:0] in,\n  output [8:0] out\n);\n"
+            "assign out = {~(^in), in};\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.62,
+    ),
+    _p(
+        id="swap_bytes16",
+        human_desc="Swap the two bytes of a 16-bit halfword.",
+        machine_desc="Assign out = {in[7:0], in[15:8]}.",
+        header="module top_module (\n  input [15:0] in,\n  output [15:0] out\n);",
+        reference=(
+            "module top_module (\n  input [15:0] in,\n  output [15:0] out\n);\n"
+            "assign out = {in[7:0], in[15:8]};\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.8,
+    ),
+    _p(
+        id="zero_one_detect",
+        human_desc=(
+            "Given a 4-bit input, raise all_zero when every bit is 0 and all_one "
+            "when every bit is 1."
+        ),
+        machine_desc="Assign all_zero = ~(|in) and all_one = &in.",
+        header=(
+            "module top_module (\n  input [3:0] in,\n  output all_zero,\n"
+            "  output all_one\n);"
+        ),
+        reference=(
+            "module top_module (\n  input [3:0] in,\n  output all_zero,\n"
+            "  output all_one\n);\n"
+            "assign all_zero = ~(|in);\nassign all_one = &in;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.78,
+    ),
+    _p(
+        id="mux8to1_w4",
+        human_desc="Create a 4-bit wide 8-to-1 multiplexer using an indexed part-select.",
+        machine_desc="Assign out = in[sel * 4 +: 4] from the packed 32-bit input.",
+        header=(
+            "module top_module (\n  input [31:0] in,\n  input [2:0] sel,\n"
+            "  output [3:0] out\n);"
+        ),
+        reference=(
+            "module top_module (\n  input [31:0] in,\n  input [2:0] sel,\n"
+            "  output [3:0] out\n);\n"
+            "assign out = in[sel * 4 +: 4];\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.2,
+    ),
+    _p(
+        id="ones_positions",
+        human_desc=(
+            "Output the index of the most significant set bit of a 8-bit input "
+            "(0 when the input is zero), plus a valid flag."
+        ),
+        machine_desc=(
+            "valid = |in. Scan i from 0 to 7 in a combinational loop; whenever "
+            "in[i] is set, record pos = i. Default pos to 0."
+        ),
+        header=(
+            "module top_module (\n  input [7:0] in,\n  output reg [2:0] pos,\n"
+            "  output valid\n);"
+        ),
+        reference=(
+            "module top_module (\n  input [7:0] in,\n  output reg [2:0] pos,\n"
+            "  output valid\n);\n"
+            "integer i;\n"
+            "always @(*) begin\n"
+            "  pos = 0;\n"
+            "  for (i = 0; i < 8; i = i + 1) begin\n"
+            "    if (in[i]) pos = i[2:0];\n"
+            "  end\n"
+            "end\n"
+            "assign valid = |in;\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.25,
+    ),
+    _p(
+        id="bcd_to_bin",
+        human_desc="Convert a two-digit BCD value (tens, ones) to 7-bit binary.",
+        machine_desc="Assign bin = tens * 10 + ones.",
+        header=(
+            "module top_module (\n  input [3:0] tens,\n  input [3:0] ones,\n"
+            "  output [6:0] bin\n);"
+        ),
+        reference=(
+            "module top_module (\n  input [3:0] tens,\n  input [3:0] ones,\n"
+            "  output [6:0] bin\n);\n"
+            "assign bin = tens * 7'd10 + ones;\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.35,
+    ),
+    _p(
+        id="interleave8",
+        human_desc=(
+            "Interleave two 4-bit inputs bit by bit: output bits alternate "
+            "b[3], a[3], b[2], a[2], ... down to a[0]."
+        ),
+        machine_desc=(
+            "Assign out = {b[3], a[3], b[2], a[2], b[1], a[1], b[0], a[0]}."
+        ),
+        header=(
+            "module top_module (\n  input [3:0] a,\n  input [3:0] b,\n"
+            "  output [7:0] out\n);"
+        ),
+        reference=(
+            "module top_module (\n  input [3:0] a,\n  input [3:0] b,\n"
+            "  output [7:0] out\n);\n"
+            "assign out = {b[3], a[3], b[2], a[2], b[1], a[1], b[0], a[0]};\n"
+            "endmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.28,
+    ),
+    _p(
+        id="round_even4",
+        human_desc=(
+            "Divide an unsigned 8-bit value by 16, rounding to nearest with "
+            "ties going to even (banker's rounding)."
+        ),
+        machine_desc=(
+            "q = in[7:4]; r = in[3:0]. Round up when r > 8, or when r == 8 and "
+            "q[0] is 1. Output q plus the rounding increment, 5 bits wide."
+        ),
+        header="module top_module (\n  input [7:0] in,\n  output [4:0] out\n);",
+        reference=(
+            "module top_module (\n  input [7:0] in,\n  output [4:0] out\n);\n"
+            "wire [3:0] q;\n"
+            "wire [3:0] r;\n"
+            "wire up;\n"
+            "assign q = in[7:4];\n"
+            "assign r = in[3:0];\n"
+            "assign up = (r > 4'd8) | ((r == 4'd8) & q[0]);\n"
+            "assign out = q + up;\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.08,
+    ),
+    _p(
+        id="gridmult2x2",
+        human_desc=(
+            "Multiply two 2x2 bit matrices over GF(2): entries are single bits, "
+            "addition is XOR, multiplication is AND. Inputs and output are packed "
+            "row-major {r0c0, r0c1, r1c0, r1c1}."
+        ),
+        machine_desc=(
+            "c[3] = a[3]&b[3] ^ a[2]&b[1]; c[2] = a[3]&b[2] ^ a[2]&b[0]; "
+            "c[1] = a[1]&b[3] ^ a[0]&b[1]; c[0] = a[1]&b[2] ^ a[0]&b[0]. "
+            "Bit 3 is r0c0 and bit 0 is r1c1."
+        ),
+        header=(
+            "module top_module (\n  input [3:0] a,\n  input [3:0] b,\n"
+            "  output [3:0] c\n);"
+        ),
+        reference=(
+            "module top_module (\n  input [3:0] a,\n  input [3:0] b,\n"
+            "  output [3:0] c\n);\n"
+            "assign c[3] = (a[3] & b[3]) ^ (a[2] & b[1]);\n"
+            "assign c[2] = (a[3] & b[2]) ^ (a[2] & b[0]);\n"
+            "assign c[1] = (a[1] & b[3]) ^ (a[0] & b[1]);\n"
+            "assign c[0] = (a[1] & b[2]) ^ (a[0] & b[0]);\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.06,
+    ),
+    _p(
+        id="hamming74_encode",
+        human_desc=(
+            "Encode 4 data bits into a 7-bit Hamming(7,4) codeword with even "
+            "parity bits at positions 1, 2 and 4 (output bit 0 is position 1)."
+        ),
+        machine_desc=(
+            "p1 = d0^d1^d3, p2 = d0^d2^d3, p4 = d1^d2^d3; "
+            "out = {d[3], d[2], d[1], p4, d[0], p2, p1} with d = data."
+        ),
+        header="module top_module (\n  input [3:0] d,\n  output [6:0] out\n);",
+        reference=(
+            "module top_module (\n  input [3:0] d,\n  output [6:0] out\n);\n"
+            "wire p1;\n"
+            "wire p2;\n"
+            "wire p4;\n"
+            "assign p1 = d[0] ^ d[1] ^ d[3];\n"
+            "assign p2 = d[0] ^ d[2] ^ d[3];\n"
+            "assign p4 = d[1] ^ d[2] ^ d[3];\n"
+            "assign out = {d[3], d[2], d[1], p4, d[0], p2, p1};\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.1,
+    ),
+]

@@ -1,0 +1,518 @@
+"""Combinational problems for the VerilogEval-style corpus.
+
+Each problem mirrors the flavour of VerilogEval tasks: a short
+high-level description (human), a mechanical bit-level description
+(machine), the module header handed to the generator, and a golden
+reference implementation.
+"""
+
+from __future__ import annotations
+
+from ..problem import Problem
+
+
+def _p(**kwargs) -> Problem:
+    return Problem(**kwargs)
+
+
+PROBLEMS: list[Problem] = [
+    _p(
+        id="wire_pass",
+        human_desc="Implement a module that behaves like a wire: copy the input to the output.",
+        machine_desc="Assign the value of input in to output out combinationally.",
+        header="module top_module (\n  input in,\n  output out\n);",
+        reference=(
+            "module top_module (\n  input in,\n  output out\n);\n"
+            "assign out = in;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.95,
+    ),
+    _p(
+        id="notgate",
+        human_desc="Implement a NOT gate.",
+        machine_desc="Assign output out to the bitwise complement of input in.",
+        header="module top_module (\n  input in,\n  output out\n);",
+        reference=(
+            "module top_module (\n  input in,\n  output out\n);\n"
+            "assign out = ~in;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.93,
+    ),
+    _p(
+        id="andgate",
+        human_desc="Implement an AND gate with two inputs.",
+        machine_desc="Assign output out to the logical AND of inputs a and b.",
+        header="module top_module (\n  input a,\n  input b,\n  output out\n);",
+        reference=(
+            "module top_module (\n  input a,\n  input b,\n  output out\n);\n"
+            "assign out = a & b;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.92,
+    ),
+    _p(
+        id="norgate",
+        human_desc="Implement a NOR gate: an OR gate with its output inverted.",
+        machine_desc="Assign output out to the complement of the OR of inputs a and b.",
+        header="module top_module (\n  input a,\n  input b,\n  output out\n);",
+        reference=(
+            "module top_module (\n  input a,\n  input b,\n  output out\n);\n"
+            "assign out = ~(a | b);\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.9,
+    ),
+    _p(
+        id="xnorgate",
+        human_desc="Implement an XNOR gate.",
+        machine_desc="Assign output out to the complement of the XOR of inputs a and b.",
+        header="module top_module (\n  input a,\n  input b,\n  output out\n);",
+        reference=(
+            "module top_module (\n  input a,\n  input b,\n  output out\n);\n"
+            "assign out = ~(a ^ b);\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.88,
+    ),
+    _p(
+        id="vector_reverse8",
+        human_desc="Given an 8-bit input vector [7:0], reverse its bit ordering.",
+        machine_desc=(
+            "Assign out[0] = in[7], out[1] = in[6], out[2] = in[5], out[3] = in[4], "
+            "out[4] = in[3], out[5] = in[2], out[6] = in[1], out[7] = in[0]."
+        ),
+        header="module top_module (\n  input [7:0] in,\n  output [7:0] out\n);",
+        reference=(
+            "module top_module (\n  input [7:0] in,\n  output [7:0] out\n);\n"
+            "assign out = {in[0], in[1], in[2], in[3], in[4], in[5], in[6], in[7]};\n"
+            "endmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.72,
+    ),
+    _p(
+        id="vector_reverse32",
+        human_desc="Given a 32-bit input vector, reverse its bit ordering using a loop.",
+        machine_desc=(
+            "For each i from 0 to 31, assign out[i] = in[31 - i]. "
+            "Use a combinational always block with a for loop."
+        ),
+        header="module top_module (\n  input [31:0] in,\n  output reg [31:0] out\n);",
+        reference=(
+            "module top_module (\n  input [31:0] in,\n  output reg [31:0] out\n);\n"
+            "integer i;\n"
+            "always @(*) begin\n"
+            "  for (i = 0; i < 32; i = i + 1) begin\n"
+            "    out[i] = in[31 - i];\n"
+            "  end\n"
+            "end\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.6,
+    ),
+    _p(
+        id="mux2to1",
+        human_desc="Create a one-bit wide, 2-to-1 multiplexer. When sel=0, choose a. When sel=1, choose b.",
+        machine_desc="Assign out = b when sel is 1, else assign out = a.",
+        header="module top_module (\n  input a,\n  input b,\n  input sel,\n  output out\n);",
+        reference=(
+            "module top_module (\n  input a,\n  input b,\n  input sel,\n  output out\n);\n"
+            "assign out = sel ? b : a;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.9,
+    ),
+    _p(
+        id="mux4to1_w8",
+        human_desc=(
+            "Create an 8-bit wide, 4-to-1 multiplexer selecting among inputs a, b, c, d "
+            "based on the 2-bit select input."
+        ),
+        machine_desc=(
+            "Use a case statement on sel: 0 selects a, 1 selects b, 2 selects c, 3 selects d. "
+            "Drive the 8-bit output out."
+        ),
+        header=(
+            "module top_module (\n  input [1:0] sel,\n  input [7:0] a,\n  input [7:0] b,\n"
+            "  input [7:0] c,\n  input [7:0] d,\n  output reg [7:0] out\n);"
+        ),
+        reference=(
+            "module top_module (\n  input [1:0] sel,\n  input [7:0] a,\n  input [7:0] b,\n"
+            "  input [7:0] c,\n  input [7:0] d,\n  output reg [7:0] out\n);\n"
+            "always @(*) begin\n"
+            "  case (sel)\n"
+            "    2'd0: out = a;\n"
+            "    2'd1: out = b;\n"
+            "    2'd2: out = c;\n"
+            "    default: out = d;\n"
+            "  endcase\n"
+            "end\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.8,
+    ),
+    _p(
+        id="halfadder",
+        human_desc="Create a half adder that adds two bits producing a sum and carry-out.",
+        machine_desc="Assign sum = a XOR b and cout = a AND b.",
+        header="module top_module (\n  input a,\n  input b,\n  output cout,\n  output sum\n);",
+        reference=(
+            "module top_module (\n  input a,\n  input b,\n  output cout,\n  output sum\n);\n"
+            "assign sum = a ^ b;\nassign cout = a & b;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.86,
+    ),
+    _p(
+        id="fulladder",
+        human_desc="Create a full adder: add three bits (including carry-in), produce sum and carry-out.",
+        machine_desc="Assign {cout, sum} to the 2-bit sum a + b + cin.",
+        header="module top_module (\n  input a,\n  input b,\n  input cin,\n  output cout,\n  output sum\n);",
+        reference=(
+            "module top_module (\n  input a,\n  input b,\n  input cin,\n  output cout,\n  output sum\n);\n"
+            "assign {cout, sum} = a + b + cin;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.82,
+    ),
+    _p(
+        id="adder8_carry",
+        human_desc=(
+            "Create an 8-bit adder with carry-out: add two 8-bit numbers producing an 8-bit "
+            "sum and a carry-out bit."
+        ),
+        machine_desc="Assign the concatenation {cout, sum} to the 9-bit value a + b.",
+        header=(
+            "module top_module (\n  input [7:0] a,\n  input [7:0] b,\n"
+            "  output [7:0] sum,\n  output cout\n);"
+        ),
+        reference=(
+            "module top_module (\n  input [7:0] a,\n  input [7:0] b,\n"
+            "  output [7:0] sum,\n  output cout\n);\n"
+            "assign {cout, sum} = a + b;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.75,
+    ),
+    _p(
+        id="vector_split",
+        human_desc=(
+            "A 16-bit input comes in little-endian halfword order; output the upper byte "
+            "and lower byte separately."
+        ),
+        machine_desc="Assign out_hi = in[15:8] and out_lo = in[7:0].",
+        header=(
+            "module top_module (\n  input [15:0] in,\n  output [7:0] out_hi,\n"
+            "  output [7:0] out_lo\n);"
+        ),
+        reference=(
+            "module top_module (\n  input [15:0] in,\n  output [7:0] out_hi,\n"
+            "  output [7:0] out_lo\n);\n"
+            "assign out_hi = in[15:8];\nassign out_lo = in[7:0];\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.85,
+    ),
+    _p(
+        id="sign_extend8to32",
+        human_desc="Sign-extend an 8-bit number to 32 bits.",
+        machine_desc="Assign out = {{24 copies of in[7]}, in}.",
+        header="module top_module (\n  input [7:0] in,\n  output [31:0] out\n);",
+        reference=(
+            "module top_module (\n  input [7:0] in,\n  output [31:0] out\n);\n"
+            "assign out = {{24{in[7]}}, in};\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.7,
+    ),
+    _p(
+        id="popcount8",
+        human_desc="Count the number of '1' bits in an 8-bit input vector.",
+        machine_desc=(
+            "Use a combinational for loop: initialise count to 0 and add in[i] for "
+            "each i in 0..7."
+        ),
+        header="module top_module (\n  input [7:0] in,\n  output reg [3:0] out\n);",
+        reference=(
+            "module top_module (\n  input [7:0] in,\n  output reg [3:0] out\n);\n"
+            "integer i;\n"
+            "always @(*) begin\n"
+            "  out = 0;\n"
+            "  for (i = 0; i < 8; i = i + 1) begin\n"
+            "    out = out + in[i];\n"
+            "  end\n"
+            "end\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.65,
+    ),
+    _p(
+        id="gates_combo",
+        human_desc=(
+            "Given two inputs, compute seven outputs: AND, OR, XOR, NAND, NOR, XNOR "
+            "and ANDNOTB (a AND NOT b)."
+        ),
+        machine_desc=(
+            "Assign out_and = a&b, out_or = a|b, out_xor = a^b, out_nand = ~(a&b), "
+            "out_nor = ~(a|b), out_xnor = ~(a^b), out_anotb = a & ~b."
+        ),
+        header=(
+            "module top_module (\n  input a,\n  input b,\n  output out_and,\n"
+            "  output out_or,\n  output out_xor,\n  output out_nand,\n"
+            "  output out_nor,\n  output out_xnor,\n  output out_anotb\n);"
+        ),
+        reference=(
+            "module top_module (\n  input a,\n  input b,\n  output out_and,\n"
+            "  output out_or,\n  output out_xor,\n  output out_nand,\n"
+            "  output out_nor,\n  output out_xnor,\n  output out_anotb\n);\n"
+            "assign out_and = a & b;\n"
+            "assign out_or = a | b;\n"
+            "assign out_xor = a ^ b;\n"
+            "assign out_nand = ~(a & b);\n"
+            "assign out_nor = ~(a | b);\n"
+            "assign out_xnor = ~(a ^ b);\n"
+            "assign out_anotb = a & ~b;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.78,
+    ),
+    _p(
+        id="decoder2to4",
+        human_desc="Build a 2-to-4 decoder with an enable input; outputs are one-hot when enabled.",
+        machine_desc=(
+            "When en is 1, out has exactly the bit at position sel set; when en is 0, "
+            "out is zero. Use a shift of 1 by sel or a case statement."
+        ),
+        header="module top_module (\n  input en,\n  input [1:0] sel,\n  output [3:0] out\n);",
+        reference=(
+            "module top_module (\n  input en,\n  input [1:0] sel,\n  output [3:0] out\n);\n"
+            "assign out = en ? (4'b0001 << sel) : 4'b0000;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.7,
+    ),
+    _p(
+        id="majority3",
+        human_desc="Output 1 when at least two of the three inputs are 1 (majority vote).",
+        machine_desc="Assign out = (a&b) | (a&c) | (b&c).",
+        header="module top_module (\n  input a,\n  input b,\n  input c,\n  output out\n);",
+        reference=(
+            "module top_module (\n  input a,\n  input b,\n  input c,\n  output out\n);\n"
+            "assign out = (a & b) | (a & c) | (b & c);\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.76,
+    ),
+    _p(
+        id="min2_u8",
+        human_desc="Find the minimum of two unsigned 8-bit numbers.",
+        machine_desc="Assign min = a < b ? a : b.",
+        header="module top_module (\n  input [7:0] a,\n  input [7:0] b,\n  output [7:0] min\n);",
+        reference=(
+            "module top_module (\n  input [7:0] a,\n  input [7:0] b,\n  output [7:0] min\n);\n"
+            "assign min = (a < b) ? a : b;\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.74,
+    ),
+    _p(
+        id="bcd_valid",
+        human_desc="Check whether a 4-bit input is a valid BCD digit (0 through 9).",
+        machine_desc="Assign valid = in <= 9 (compare against 4'd9).",
+        header="module top_module (\n  input [3:0] in,\n  output valid\n);",
+        reference=(
+            "module top_module (\n  input [3:0] in,\n  output valid\n);\n"
+            "assign valid = (in <= 4'd9);\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.8,
+    ),
+    _p(
+        id="priority_encoder8",
+        human_desc=(
+            "Build an 8-bit priority encoder: output the position of the least "
+            "significant set bit, or zero if no bits are set."
+        ),
+        machine_desc=(
+            "Scan bits from 7 down to 0 in a combinational for loop, latching the "
+            "index of each set bit so the lowest index wins; default pos to 0."
+        ),
+        header="module top_module (\n  input [7:0] in,\n  output reg [2:0] pos\n);",
+        reference=(
+            "module top_module (\n  input [7:0] in,\n  output reg [2:0] pos\n);\n"
+            "integer i;\n"
+            "always @(*) begin\n"
+            "  pos = 0;\n"
+            "  for (i = 7; i >= 0; i = i - 1) begin\n"
+            "    if (in[i]) pos = i[2:0];\n"
+            "  end\n"
+            "end\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.3,
+    ),
+    _p(
+        id="bin2gray8",
+        human_desc="Convert an 8-bit binary number to Gray code.",
+        machine_desc="Assign gray = bin XOR (bin shifted right by one).",
+        header="module top_module (\n  input [7:0] bin,\n  output [7:0] gray\n);",
+        reference=(
+            "module top_module (\n  input [7:0] bin,\n  output [7:0] gray\n);\n"
+            "assign gray = bin ^ (bin >> 1);\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.35,
+    ),
+    _p(
+        id="gray2bin8",
+        human_desc="Convert an 8-bit Gray code value back to binary.",
+        machine_desc=(
+            "bin[7] = gray[7]; for i from 6 down to 0, bin[i] = bin[i+1] XOR gray[i]. "
+            "Use a combinational for loop."
+        ),
+        header="module top_module (\n  input [7:0] gray,\n  output reg [7:0] bin\n);",
+        reference=(
+            "module top_module (\n  input [7:0] gray,\n  output reg [7:0] bin\n);\n"
+            "integer i;\n"
+            "always @(*) begin\n"
+            "  bin[7] = gray[7];\n"
+            "  for (i = 6; i >= 0; i = i - 1) begin\n"
+            "    bin[i] = bin[i + 1] ^ gray[i];\n"
+            "  end\n"
+            "end\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.15,
+    ),
+    _p(
+        id="barrel_rotl8",
+        human_desc="Rotate an 8-bit value left by a variable amount (0-7).",
+        machine_desc="Assign out = (in << amt) | (in >> (8 - amt)), taking the low 8 bits.",
+        header="module top_module (\n  input [7:0] in,\n  input [2:0] amt,\n  output [7:0] out\n);",
+        reference=(
+            "module top_module (\n  input [7:0] in,\n  input [2:0] amt,\n  output [7:0] out\n);\n"
+            "wire [15:0] doubled;\n"
+            "assign doubled = {in, in} >> (4'd8 - {1'b0, amt});\n"
+            "assign out = doubled[7:0];\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.12,
+    ),
+    _p(
+        id="abs_s8",
+        human_desc="Compute the absolute value of an 8-bit two's-complement number.",
+        machine_desc="If in[7] is set, assign out = 0 - in, else out = in.",
+        header="module top_module (\n  input [7:0] in,\n  output [7:0] out\n);",
+        reference=(
+            "module top_module (\n  input [7:0] in,\n  output [7:0] out\n);\n"
+            "assign out = in[7] ? (8'd0 - in) : in;\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.28,
+    ),
+    _p(
+        id="thermometer4",
+        human_desc=(
+            "Convert a 2-bit count to a 4-bit thermometer code: the count selects how "
+            "many low-order output bits are set, with count 3 setting three bits."
+        ),
+        machine_desc=(
+            "Case on the count: 0 -> 4'b0000, 1 -> 4'b0001, 2 -> 4'b0011, 3 -> 4'b0111."
+        ),
+        header="module top_module (\n  input [1:0] count,\n  output reg [3:0] out\n);",
+        reference=(
+            "module top_module (\n  input [1:0] count,\n  output reg [3:0] out\n);\n"
+            "always @(*) begin\n"
+            "  case (count)\n"
+            "    2'd0: out = 4'b0000;\n"
+            "    2'd1: out = 4'b0001;\n"
+            "    2'd2: out = 4'b0011;\n"
+            "    default: out = 4'b0111;\n"
+            "  endcase\n"
+            "end\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.25,
+    ),
+    _p(
+        id="conway_neighbors",
+        human_desc=(
+            "Given a 4x4 grid of cells packed into a 16-bit vector (row-major), output "
+            "for the inner 2x2 cells the count of live neighbours, 4 bits per cell. "
+            "Cells outside the grid are dead."
+        ),
+        machine_desc=(
+            "For each inner cell (r,c) with r and c in 1..2, sum the eight neighbours "
+            "grid[(r+dr)*4 + (c+dc)] for dr,dc in -1..1 excluding (0,0), and place the "
+            "4-bit count at counts[(r-1)*2 + (c-1)] * 4 +: 4. Use nested for loops."
+        ),
+        header="module top_module (\n  input [15:0] grid,\n  output reg [15:0] counts\n);",
+        reference=(
+            "module top_module (\n  input [15:0] grid,\n  output reg [15:0] counts\n);\n"
+            "integer r;\ninteger c;\ninteger dr;\ninteger dc;\n"
+            "reg [3:0] n;\n"
+            "always @(*) begin\n"
+            "  counts = 0;\n"
+            "  for (r = 1; r < 3; r = r + 1) begin\n"
+            "    for (c = 1; c < 3; c = c + 1) begin\n"
+            "      n = 0;\n"
+            "      for (dr = -1; dr < 2; dr = dr + 1) begin\n"
+            "        for (dc = -1; dc < 2; dc = dc + 1) begin\n"
+            "          if (!(dr == 0 && dc == 0)) begin\n"
+            "            n = n + grid[(r + dr) * 4 + (c + dc)];\n"
+            "          end\n"
+            "        end\n"
+            "      end\n"
+            "      counts[((r - 1) * 2 + (c - 1)) * 4 +: 4] = n;\n"
+            "    end\n"
+            "  end\n"
+            "end\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.04,
+    ),
+    _p(
+        id="leading_zeros8",
+        human_desc="Count the leading zeros of an 8-bit value (8 when the input is zero).",
+        machine_desc=(
+            "Initialise count to 8; scan i from 0 to 7 and whenever in[i] is set, "
+            "set count = 7 - i. The final value is the number of leading zeros."
+        ),
+        header="module top_module (\n  input [7:0] in,\n  output reg [3:0] count\n);",
+        reference=(
+            "module top_module (\n  input [7:0] in,\n  output reg [3:0] count\n);\n"
+            "integer i;\n"
+            "always @(*) begin\n"
+            "  count = 8;\n"
+            "  for (i = 0; i < 8; i = i + 1) begin\n"
+            "    if (in[i]) count = 7 - i;\n"
+            "  end\n"
+            "end\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.1,
+    ),
+    _p(
+        id="seven_seg_digit",
+        human_desc=(
+            "Drive a seven-segment display (active-high segments a-g packed into a 7-bit "
+            "output, segment a in bit 6) for hexadecimal digits 0-9; output all segments "
+            "off for inputs above 9."
+        ),
+        machine_desc=(
+            "Case on the 4-bit digit: 0 -> 7'b1111110, 1 -> 7'b0110000, 2 -> 7'b1101101, "
+            "3 -> 7'b1111001, 4 -> 7'b0110011, 5 -> 7'b1011011, 6 -> 7'b1011111, "
+            "7 -> 7'b1110000, 8 -> 7'b1111111, 9 -> 7'b1111011, default -> 0."
+        ),
+        header="module top_module (\n  input [3:0] digit,\n  output reg [6:0] seg\n);",
+        reference=(
+            "module top_module (\n  input [3:0] digit,\n  output reg [6:0] seg\n);\n"
+            "always @(*) begin\n"
+            "  case (digit)\n"
+            "    4'd0: seg = 7'b1111110;\n"
+            "    4'd1: seg = 7'b0110000;\n"
+            "    4'd2: seg = 7'b1101101;\n"
+            "    4'd3: seg = 7'b1111001;\n"
+            "    4'd4: seg = 7'b0110011;\n"
+            "    4'd5: seg = 7'b1011011;\n"
+            "    4'd6: seg = 7'b1011111;\n"
+            "    4'd7: seg = 7'b1110000;\n"
+            "    4'd8: seg = 7'b1111111;\n"
+            "    4'd9: seg = 7'b1111011;\n"
+            "    default: seg = 7'b0000000;\n"
+            "  endcase\n"
+            "end\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.2,
+    ),
+    _p(
+        id="saturating_add_u8",
+        human_desc="Add two unsigned 8-bit numbers with saturation: clamp the result at 255.",
+        machine_desc=(
+            "Compute the 9-bit sum {1'b0,a} + {1'b0,b}; if bit 8 is set output 8'hFF, "
+            "else output the low 8 bits."
+        ),
+        header="module top_module (\n  input [7:0] a,\n  input [7:0] b,\n  output [7:0] out\n);",
+        reference=(
+            "module top_module (\n  input [7:0] a,\n  input [7:0] b,\n  output [7:0] out\n);\n"
+            "wire [8:0] sum;\n"
+            "assign sum = a + b;\n"
+            "assign out = sum[8] ? 8'hFF : sum[7:0];\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.3,
+    ),
+]

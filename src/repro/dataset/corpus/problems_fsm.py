@@ -1,0 +1,187 @@
+"""Finite-state-machine problems (the hard end of the corpus)."""
+
+from __future__ import annotations
+
+from ..problem import Problem
+
+
+def _p(**kwargs) -> Problem:
+    return Problem(**kwargs)
+
+
+PROBLEMS: list[Problem] = [
+    _p(
+        id="fsm_moore2",
+        human_desc=(
+            "Implement a two-state Moore machine: in state OFF the output is 0 and a 1 "
+            "on the input moves to ON; in state ON the output is 1 and a 1 on the input "
+            "moves back to OFF. Synchronous reset to OFF."
+        ),
+        machine_desc=(
+            "State register: 0=OFF, 1=ON. On posedge clk: if reset, state <= OFF; else "
+            "state <= in ? ~state : state. Output out = state."
+        ),
+        header="module top_module (\n  input clk,\n  input reset,\n  input in,\n  output out\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input in,\n  output out\n);\n"
+            "reg state;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) state <= 1'b0;\n"
+            "  else if (in) state <= ~state;\n"
+            "end\n"
+            "assign out = state;\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.3,
+    ),
+    _p(
+        id="fsm_seq101",
+        human_desc=(
+            "Detect the bit pattern 101 in a serial stream (overlapping allowed): the "
+            "output pulses for one cycle when the last three bits seen are 101. "
+            "Synchronous reset."
+        ),
+        machine_desc=(
+            "Use a 4-state FSM with states S0 (nothing), S1 (saw 1), S10 (saw 10), "
+            "S101 (matched). From S1 a 0 goes to S10; from S10 a 1 goes to S101 and a "
+            "0 goes to S0; from S101 a 0 goes to S10 and a 1 goes to S1. "
+            "Output found = (state == S101)."
+        ),
+        header="module top_module (\n  input clk,\n  input reset,\n  input in,\n  output found\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input in,\n  output found\n);\n"
+            "localparam S0 = 2'd0;\n"
+            "localparam S1 = 2'd1;\n"
+            "localparam S10 = 2'd2;\n"
+            "localparam S101 = 2'd3;\n"
+            "reg [1:0] state;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) state <= S0;\n"
+            "  else begin\n"
+            "    case (state)\n"
+            "      S0: state <= in ? S1 : S0;\n"
+            "      S1: state <= in ? S1 : S10;\n"
+            "      S10: state <= in ? S101 : S0;\n"
+            "      default: state <= in ? S1 : S10;\n"
+            "    endcase\n"
+            "  end\n"
+            "end\n"
+            "assign found = (state == S101);\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.08,
+    ),
+    _p(
+        id="fsm_traffic",
+        human_desc=(
+            "Implement a traffic-light controller cycling GREEN (4 cycles) -> YELLOW "
+            "(1 cycle) -> RED (3 cycles) -> GREEN. Outputs are one-hot {red, yellow, "
+            "green}. Synchronous reset starts at GREEN with the timer cleared."
+        ),
+        machine_desc=(
+            "Keep a 2-bit state (0=G,1=Y,2=R) and a 3-bit timer counting cycles in "
+            "state. Durations: G=4, Y=1, R=3. On the last cycle of a state advance to "
+            "the next state and clear the timer, else increment the timer. Outputs: "
+            "green = state==0, yellow = state==1, red = state==2."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input reset,\n  output green,\n"
+            "  output yellow,\n  output red\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  output green,\n"
+            "  output yellow,\n  output red\n);\n"
+            "localparam G = 2'd0;\n"
+            "localparam Y = 2'd1;\n"
+            "localparam R = 2'd2;\n"
+            "reg [1:0] state;\n"
+            "reg [2:0] timer;\n"
+            "reg [2:0] limit;\n"
+            "always @(*) begin\n"
+            "  case (state)\n"
+            "    G: limit = 3'd4;\n"
+            "    Y: limit = 3'd1;\n"
+            "    default: limit = 3'd3;\n"
+            "  endcase\n"
+            "end\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) begin\n"
+            "    state <= G;\n    timer <= 3'd0;\n"
+            "  end\n"
+            "  else if (timer == limit - 1) begin\n"
+            "    timer <= 3'd0;\n"
+            "    state <= (state == R) ? G : state + 1;\n"
+            "  end\n"
+            "  else timer <= timer + 1;\n"
+            "end\n"
+            "assign green = (state == G);\n"
+            "assign yellow = (state == Y);\n"
+            "assign red = (state == R);\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.05,
+    ),
+    _p(
+        id="fsm_onehot3",
+        human_desc=(
+            "Implement a 3-state one-hot FSM that advances A -> B -> C -> A whenever "
+            "go is high; synchronous reset returns to A. Output busy is high in states "
+            "B and C."
+        ),
+        machine_desc=(
+            "State register is 3 bits one-hot (A=001, B=010, C=100). On posedge clk: "
+            "reset loads A; if go, rotate left by one (C wraps to A); else hold. "
+            "busy = state[1] | state[2]."
+        ),
+        header="module top_module (\n  input clk,\n  input reset,\n  input go,\n  output busy\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input go,\n  output busy\n);\n"
+            "reg [2:0] state;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) state <= 3'b001;\n"
+            "  else if (go) state <= {state[1:0], state[2]};\n"
+            "end\n"
+            "assign busy = state[1] | state[2];\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.15,
+    ),
+    _p(
+        id="fsm_mealy_ones",
+        human_desc=(
+            "Mealy machine: output 1 exactly when the current input bit and the "
+            "previous input bit are both 1. Synchronous reset clears the memory."
+        ),
+        machine_desc=(
+            "Register prev holds last cycle's input. out = in & prev (combinational). "
+            "On posedge clk: if reset, prev <= 0, else prev <= in."
+        ),
+        header="module top_module (\n  input clk,\n  input reset,\n  input in,\n  output out\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input in,\n  output out\n);\n"
+            "reg prev;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) prev <= 1'b0;\n  else prev <= in;\n"
+            "end\n"
+            "assign out = in & prev;\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.22,
+    ),
+    _p(
+        id="fsm_gray_counter3",
+        human_desc=(
+            "Build a 3-bit Gray-code counter: the output steps through the 8-entry "
+            "Gray sequence each cycle and wraps; synchronous reset to 0."
+        ),
+        machine_desc=(
+            "Keep a 3-bit binary counter bin; on posedge clk: if reset, bin <= 0, else "
+            "bin <= bin + 1. Output q = bin ^ (bin >> 1)."
+        ),
+        header="module top_module (\n  input clk,\n  input reset,\n  output [2:0] q\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  output [2:0] q\n);\n"
+            "reg [2:0] bin;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) bin <= 3'd0;\n  else bin <= bin + 1;\n"
+            "end\n"
+            "assign q = bin ^ (bin >> 1);\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.12,
+    ),
+]

@@ -1,0 +1,345 @@
+"""Sequential (clocked) problems for the VerilogEval-style corpus."""
+
+from __future__ import annotations
+
+from ..problem import Problem
+
+
+def _p(**kwargs) -> Problem:
+    return Problem(**kwargs)
+
+
+PROBLEMS: list[Problem] = [
+    _p(
+        id="dff",
+        human_desc="Create a single D flip-flop triggered on the positive clock edge.",
+        machine_desc="On every posedge of clk, assign q <= d (nonblocking).",
+        header="module top_module (\n  input clk,\n  input d,\n  output reg q\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input d,\n  output reg q\n);\n"
+            "always @(posedge clk) begin\n  q <= d;\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.9,
+    ),
+    _p(
+        id="dff8_reset",
+        human_desc=(
+            "Create 8 D flip-flops with an active-high synchronous reset that clears "
+            "them to zero."
+        ),
+        machine_desc=(
+            "On posedge clk: if reset is 1, q <= 0, else q <= d. q and d are 8 bits."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input reset,\n  input [7:0] d,\n"
+            "  output reg [7:0] q\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input [7:0] d,\n"
+            "  output reg [7:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 8'd0;\n  else q <= d;\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.82,
+    ),
+    _p(
+        id="dffe",
+        human_desc="Create a D flip-flop with a write-enable input.",
+        machine_desc="On posedge clk: if en is 1, q <= d; otherwise q keeps its value.",
+        header="module top_module (\n  input clk,\n  input en,\n  input d,\n  output reg q\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input en,\n  input d,\n  output reg q\n);\n"
+            "always @(posedge clk) begin\n  if (en) q <= d;\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.8,
+    ),
+    _p(
+        id="counter4_reset",
+        human_desc=(
+            "Build a 4-bit binary counter that counts up once per clock cycle, with a "
+            "synchronous active-high reset to zero."
+        ),
+        machine_desc="On posedge clk: if reset, q <= 0, else q <= q + 1.",
+        header="module top_module (\n  input clk,\n  input reset,\n  output reg [3:0] q\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  output reg [3:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 4'd0;\n  else q <= q + 1;\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.78,
+    ),
+    _p(
+        id="counter_load",
+        human_desc=(
+            "Build an 8-bit up counter with synchronous reset and a parallel load input "
+            "that takes priority over counting."
+        ),
+        machine_desc=(
+            "On posedge clk: if reset, q <= 0; else if load, q <= d; else q <= q + 1."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input reset,\n  input load,\n"
+            "  input [7:0] d,\n  output reg [7:0] q\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input load,\n"
+            "  input [7:0] d,\n  output reg [7:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 8'd0;\n"
+            "  else if (load) q <= d;\n"
+            "  else q <= q + 1;\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.7,
+    ),
+    _p(
+        id="toggle_ff",
+        human_desc="Build a toggle flip-flop: the output flips whenever t is high at a clock edge; synchronous reset.",
+        machine_desc="On posedge clk: if reset, q <= 0; else if t, q <= ~q.",
+        header="module top_module (\n  input clk,\n  input reset,\n  input t,\n  output reg q\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input t,\n  output reg q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 1'b0;\n  else if (t) q <= ~q;\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.72,
+    ),
+    _p(
+        id="shift4_left",
+        human_desc=(
+            "Build a 4-bit shift register that shifts in a serial bit each cycle "
+            "(towards the MSB), with synchronous reset."
+        ),
+        machine_desc="On posedge clk: if reset, q <= 0; else q <= {q[2:0], din}.",
+        header="module top_module (\n  input clk,\n  input reset,\n  input din,\n  output reg [3:0] q\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input din,\n  output reg [3:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 4'd0;\n  else q <= {q[2:0], din};\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.68,
+    ),
+    _p(
+        id="edge_detect_rise",
+        human_desc=(
+            "Detect rising edges of a slow input signal: output a one-cycle pulse the "
+            "cycle after the input goes from 0 to 1. Synchronous reset clears state."
+        ),
+        machine_desc=(
+            "Keep a one-cycle-delayed copy prev of in. On posedge clk: if reset, "
+            "prev <= 0 and pulse <= 0; else pulse <= in & ~prev and prev <= in."
+        ),
+        header="module top_module (\n  input clk,\n  input reset,\n  input in,\n  output reg pulse\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input in,\n  output reg pulse\n);\n"
+            "reg prev;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) begin\n    prev <= 1'b0;\n    pulse <= 1'b0;\n  end\n"
+            "  else begin\n    pulse <= in & ~prev;\n    prev <= in;\n  end\n"
+            "end\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.55,
+    ),
+    _p(
+        id="dff8_async",
+        human_desc="Create 8 D flip-flops with an active-high asynchronous reset.",
+        machine_desc=(
+            "Use always @(posedge clk or posedge areset): if areset, q <= 0, else q <= d."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input areset,\n  input [7:0] d,\n"
+            "  output reg [7:0] q\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input areset,\n  input [7:0] d,\n"
+            "  output reg [7:0] q\n);\n"
+            "always @(posedge clk or posedge areset) begin\n"
+            "  if (areset) q <= 8'd0;\n  else q <= d;\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.7,
+    ),
+    _p(
+        id="counter_down",
+        human_desc=(
+            "Build a 4-bit down counter with synchronous reset to 15; it wraps from 0 "
+            "back to 15."
+        ),
+        machine_desc="On posedge clk: if reset, q <= 4'hF, else q <= q - 1.",
+        header="module top_module (\n  input clk,\n  input reset,\n  output reg [3:0] q\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  output reg [3:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 4'hF;\n  else q <= q - 1;\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.66,
+    ),
+    _p(
+        id="counter_1to12",
+        human_desc=(
+            "Build a counter that counts from 1 through 12 and wraps back to 1; "
+            "synchronous reset sets it to 1."
+        ),
+        machine_desc=(
+            "On posedge clk: if reset or q == 12, q <= 1, else q <= q + 1."
+        ),
+        header="module top_module (\n  input clk,\n  input reset,\n  output reg [3:0] q\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  output reg [3:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 4'd1;\n"
+            "  else if (q == 4'd12) q <= 4'd1;\n"
+            "  else q <= q + 1;\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.3,
+    ),
+    _p(
+        id="bcd_counter_digit",
+        human_desc=(
+            "Build a decade (BCD) counter digit that counts 0-9 with an enable, "
+            "producing a carry-out pulse when it rolls over from 9; synchronous reset."
+        ),
+        machine_desc=(
+            "On posedge clk: if reset, q <= 0; else if en, q <= (q == 9) ? 0 : q + 1. "
+            "Assign carry combinationally as en && q == 9."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input reset,\n  input en,\n"
+            "  output reg [3:0] q,\n  output carry\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input en,\n"
+            "  output reg [3:0] q,\n  output carry\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 4'd0;\n"
+            "  else if (en) q <= (q == 4'd9) ? 4'd0 : q + 1;\n"
+            "end\n"
+            "assign carry = en && (q == 4'd9);\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.2,
+    ),
+    _p(
+        id="lfsr5",
+        human_desc=(
+            "Implement a 5-bit maximal-length Galois LFSR with taps at positions 5 and 3; "
+            "synchronous reset loads 5'h1."
+        ),
+        machine_desc=(
+            "On posedge clk: if reset, q <= 5'h1; else q <= {q[0], q[4], q[3] ^ q[0], "
+            "q[2], q[1]}."
+        ),
+        header="module top_module (\n  input clk,\n  input reset,\n  output reg [4:0] q\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  output reg [4:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 5'h1;\n"
+            "  else q <= {q[0], q[4], q[3] ^ q[0], q[2], q[1]};\n"
+            "end\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.1,
+    ),
+    _p(
+        id="rule90",
+        human_desc=(
+            "Implement one row of a Rule 90 cellular automaton over 16 cells: each "
+            "cycle every cell becomes the XOR of its two neighbours (boundaries are 0). "
+            "A load input replaces the state with data."
+        ),
+        machine_desc=(
+            "On posedge clk: if load, q <= data; else q <= {1'b0, q[15:1]} ^ "
+            "{q[14:0], 1'b0}."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input load,\n  input [15:0] data,\n"
+            "  output reg [15:0] q\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input load,\n  input [15:0] data,\n"
+            "  output reg [15:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (load) q <= data;\n"
+            "  else q <= {1'b0, q[15:1]} ^ {q[14:0], 1'b0};\n"
+            "end\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.15,
+    ),
+    _p(
+        id="history_shift",
+        human_desc=(
+            "Keep a 32-bit branch history register: on each taken/not-taken event "
+            "(train_en), shift in the taken bit from the LSB side; areset clears it."
+        ),
+        machine_desc=(
+            "On posedge clk or posedge areset: if areset, history <= 0; else if "
+            "train_en, history <= {history[30:0], taken}."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input areset,\n  input train_en,\n"
+            "  input taken,\n  output reg [31:0] history\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input areset,\n  input train_en,\n"
+            "  input taken,\n  output reg [31:0] history\n);\n"
+            "always @(posedge clk or posedge areset) begin\n"
+            "  if (areset) history <= 32'd0;\n"
+            "  else if (train_en) history <= {history[30:0], taken};\n"
+            "end\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.25,
+    ),
+    _p(
+        id="timer_shot",
+        human_desc=(
+            "Build a one-shot 10-cycle timer: a load pulse arms it with a 4-bit count; "
+            "it counts down to zero and asserts done while the count is zero."
+        ),
+        machine_desc=(
+            "On posedge clk: if load, count <= data; else if count != 0, "
+            "count <= count - 1. Assign done = (count == 0)."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input load,\n  input [3:0] data,\n"
+            "  output done\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input load,\n  input [3:0] data,\n"
+            "  output done\n);\n"
+            "reg [3:0] count;\n"
+            "initial count = 4'd0;\n"
+            "always @(posedge clk) begin\n"
+            "  if (load) count <= data;\n"
+            "  else if (count != 4'd0) count <= count - 1;\n"
+            "end\n"
+            "assign done = (count == 4'd0);\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.18,
+    ),
+    _p(
+        id="johnson4",
+        human_desc=(
+            "Build a 4-bit Johnson (twisted-ring) counter with synchronous reset: the "
+            "inverted MSB feeds back into the LSB."
+        ),
+        machine_desc="On posedge clk: if reset, q <= 0; else q <= {q[2:0], ~q[3]}.",
+        header="module top_module (\n  input clk,\n  input reset,\n  output reg [3:0] q\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  output reg [3:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 4'd0;\n  else q <= {q[2:0], ~q[3]};\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.28,
+    ),
+    _p(
+        id="serial_parity",
+        human_desc=(
+            "Accumulate the even parity of a serial bit stream: the output is the XOR "
+            "of every bit seen since the last synchronous reset."
+        ),
+        machine_desc="On posedge clk: if reset, parity <= 0; else parity <= parity ^ in.",
+        header="module top_module (\n  input clk,\n  input reset,\n  input in,\n  output reg parity\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input in,\n  output reg parity\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) parity <= 1'b0;\n  else parity <= parity ^ in;\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.35,
+    ),
+]

@@ -1,0 +1,264 @@
+"""Additional sequential problems (corpus extension)."""
+
+from __future__ import annotations
+
+from ..problem import Problem
+
+
+def _p(**kwargs) -> Problem:
+    return Problem(**kwargs)
+
+
+PROBLEMS: list[Problem] = [
+    _p(
+        id="dff16_en2",
+        human_desc=(
+            "Create a 16-bit register with two byte-enables: byteena[1] gates "
+            "the upper byte, byteena[0] the lower byte. Synchronous reset."
+        ),
+        machine_desc=(
+            "On posedge clk: if reset, q <= 0; else update q[15:8] when "
+            "byteena[1] and q[7:0] when byteena[0]."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input reset,\n"
+            "  input [1:0] byteena,\n  input [15:0] d,\n  output reg [15:0] q\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n"
+            "  input [1:0] byteena,\n  input [15:0] d,\n  output reg [15:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 16'd0;\n"
+            "  else begin\n"
+            "    if (byteena[1]) q[15:8] <= d[15:8];\n"
+            "    if (byteena[0]) q[7:0] <= d[7:0];\n"
+            "  end\n"
+            "end\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.55,
+    ),
+    _p(
+        id="ring_counter4",
+        human_desc=(
+            "Build a 4-bit ring counter: a single hot bit rotates one position "
+            "per cycle; synchronous reset loads 4'b0001."
+        ),
+        machine_desc="On posedge clk: if reset, q <= 4'b0001; else q <= {q[2:0], q[3]}.",
+        header="module top_module (\n  input clk,\n  input reset,\n  output reg [3:0] q\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  output reg [3:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 4'b0001;\n  else q <= {q[2:0], q[3]};\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.6,
+    ),
+    _p(
+        id="sat_counter2",
+        human_desc=(
+            "Build a 2-bit saturating up/down counter (a branch-predictor "
+            "style bimodal counter): up increments toward 3, down decrements "
+            "toward 0, never wrapping. Synchronous reset to 1 (weakly not-taken)."
+        ),
+        machine_desc=(
+            "On posedge clk: reset -> 1; up && q != 3 -> q+1; "
+            "!up && q != 0 -> q-1."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input reset,\n  input up,\n"
+            "  output reg [1:0] q\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input up,\n"
+            "  output reg [1:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 2'd1;\n"
+            "  else if (up && q != 2'd3) q <= q + 1;\n"
+            "  else if (!up && q != 2'd0) q <= q - 1;\n"
+            "end\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.22,
+    ),
+    _p(
+        id="pulse_stretcher",
+        human_desc=(
+            "Stretch an input pulse to exactly 4 cycles: when in pulses high, "
+            "the output stays high for the next 4 cycles (retriggerable). "
+            "Synchronous reset."
+        ),
+        machine_desc=(
+            "Keep a 3-bit down-counter. On posedge clk: reset clears; if in, "
+            "count <= 4; else if count != 0, count <= count - 1. out = count != 0."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input reset,\n  input in,\n"
+            "  output out\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input in,\n"
+            "  output out\n);\n"
+            "reg [2:0] count;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) count <= 3'd0;\n"
+            "  else if (in) count <= 3'd4;\n"
+            "  else if (count != 3'd0) count <= count - 1;\n"
+            "end\n"
+            "assign out = (count != 3'd0);\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.15,
+    ),
+    _p(
+        id="debounce3",
+        human_desc=(
+            "Debounce a noisy input: the output only changes after the input "
+            "has held the new value for 3 consecutive cycles. Synchronous reset."
+        ),
+        machine_desc=(
+            "Track a 2-bit match counter. On posedge clk: if reset, clear out and "
+            "counter; else if in == out, counter <= 0; else increment the counter "
+            "and when it reaches 2, load out <= in and clear the counter."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input reset,\n  input in,\n"
+            "  output reg out\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input in,\n"
+            "  output reg out\n);\n"
+            "reg [1:0] count;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) begin\n"
+            "    out <= 1'b0;\n    count <= 2'd0;\n"
+            "  end\n"
+            "  else if (in == out) count <= 2'd0;\n"
+            "  else if (count == 2'd2) begin\n"
+            "    out <= in;\n    count <= 2'd0;\n"
+            "  end\n"
+            "  else count <= count + 1;\n"
+            "end\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.1,
+    ),
+    _p(
+        id="accumulate_u8",
+        human_desc=(
+            "Accumulate an 8-bit input stream into a 16-bit running sum with a "
+            "valid strobe; synchronous clear."
+        ),
+        machine_desc="On posedge clk: if clear, sum <= 0; else if valid, sum <= sum + in.",
+        header=(
+            "module top_module (\n  input clk,\n  input clear,\n  input valid,\n"
+            "  input [7:0] in,\n  output reg [15:0] sum\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input clear,\n  input valid,\n"
+            "  input [7:0] in,\n  output reg [15:0] sum\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (clear) sum <= 16'd0;\n"
+            "  else if (valid) sum <= sum + in;\n"
+            "end\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.62,
+    ),
+    _p(
+        id="min_tracker",
+        human_desc=(
+            "Track the minimum value seen on an 8-bit input since the last "
+            "synchronous reset (reset sets the minimum to 255)."
+        ),
+        machine_desc="On posedge clk: if reset, min <= 8'hFF; else if in < min, min <= in.",
+        header=(
+            "module top_module (\n  input clk,\n  input reset,\n"
+            "  input [7:0] in,\n  output reg [7:0] min\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n"
+            "  input [7:0] in,\n  output reg [7:0] min\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) min <= 8'hFF;\n"
+            "  else if (in < min) min <= in;\n"
+            "end\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.58,
+    ),
+    _p(
+        id="alternating_detect",
+        human_desc=(
+            "Detect an alternating input: output 1 when the last three input "
+            "bits form 010 or 101. Synchronous reset."
+        ),
+        machine_desc=(
+            "Keep a 2-bit history {prev1, prev2}. out = (in != prev1) && "
+            "(prev1 != prev2) computed combinationally from registered history; "
+            "history shifts every posedge."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input reset,\n  input in,\n"
+            "  output out\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input in,\n"
+            "  output out\n);\n"
+            "reg prev1;\n"
+            "reg prev2;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) begin\n"
+            "    prev1 <= 1'b0;\n    prev2 <= 1'b0;\n"
+            "  end\n"
+            "  else begin\n"
+            "    prev2 <= prev1;\n    prev1 <= in;\n"
+            "  end\n"
+            "end\n"
+            "assign out = (in != prev1) && (prev1 != prev2);\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.12,
+    ),
+    _p(
+        id="fsm_vend",
+        human_desc=(
+            "A vending FSM: nickels (5) and dimes (10) accumulate toward 15 "
+            "cents; dispense pulses when the total reaches or passes 15 and the "
+            "count restarts from the overshoot discarded (back to zero). "
+            "Synchronous reset."
+        ),
+        machine_desc=(
+            "Keep total[3:0] counting in units of 5 (0,1,2). nickel adds 1, dime "
+            "adds 2. When the new total >= 3, assert dispense (registered) and "
+            "reset total to 0; else store the new total and clear dispense."
+        ),
+        header=(
+            "module top_module (\n  input clk,\n  input reset,\n  input nickel,\n"
+            "  input dime,\n  output reg dispense\n);"
+        ),
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  input nickel,\n"
+            "  input dime,\n  output reg dispense\n);\n"
+            "reg [3:0] total;\n"
+            "wire [3:0] added;\n"
+            "assign added = total + {3'd0, nickel} + {2'd0, dime, 1'b0};\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) begin\n"
+            "    total <= 4'd0;\n    dispense <= 1'b0;\n"
+            "  end\n"
+            "  else if (added >= 4'd3) begin\n"
+            "    total <= 4'd0;\n    dispense <= 1'b1;\n"
+            "  end\n"
+            "  else begin\n"
+            "    total <= added;\n    dispense <= 1'b0;\n"
+            "  end\n"
+            "end\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.07,
+    ),
+    _p(
+        id="strobe_div2",
+        human_desc="Output a strobe on every other rising clock edge (divide-by-2 enable).",
+        machine_desc="Toggle a flip-flop each cycle; out is the flop value. Synchronous reset.",
+        header="module top_module (\n  input clk,\n  input reset,\n  output reg out\n);",
+        reference=(
+            "module top_module (\n  input clk,\n  input reset,\n  output reg out\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) out <= 1'b0;\n  else out <= ~out;\nend\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.75,
+    ),
+]

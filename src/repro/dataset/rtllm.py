@@ -1,0 +1,413 @@
+"""RTLLM-style corpus: larger designs, several with module hierarchy.
+
+The paper uses the RTLLM benchmark (Lu et al. 2023) to show that
+RTLFixer generalizes beyond VerilogEval without any new RAG entries
+(Table 3).  RTLLM problems are bigger "design" tasks (ALUs, FIFOs,
+multipliers...) rather than puzzle-sized exercises; we mirror that by
+making these problems multi-always, multi-signal and sometimes
+multi-module, which also exercises the PORT_MISMATCH error category.
+"""
+
+from __future__ import annotations
+
+from .problem import Problem, ProblemSet
+
+
+def _p(**kwargs) -> Problem:
+    return Problem(**kwargs)
+
+
+PROBLEMS: list[Problem] = [
+    _p(
+        id="rtllm_alu8",
+        human_desc=(
+            "Design an 8-bit ALU supporting ADD, SUB, AND, OR, XOR, shift-left, "
+            "shift-right and pass-through, selected by a 3-bit opcode; also output a "
+            "zero flag."
+        ),
+        machine_desc=(
+            "Case on op: 0 add, 1 subtract, 2 and, 3 or, 4 xor, 5 a<<1, 6 a>>1, "
+            "default a. zero = (result == 0)."
+        ),
+        header=(
+            "module alu8 (\n  input [7:0] a,\n  input [7:0] b,\n  input [2:0] op,\n"
+            "  output reg [7:0] result,\n  output zero\n);"
+        ),
+        reference=(
+            "module alu8 (\n  input [7:0] a,\n  input [7:0] b,\n  input [2:0] op,\n"
+            "  output reg [7:0] result,\n  output zero\n);\n"
+            "always @(*) begin\n"
+            "  case (op)\n"
+            "    3'd0: result = a + b;\n"
+            "    3'd1: result = a - b;\n"
+            "    3'd2: result = a & b;\n"
+            "    3'd3: result = a | b;\n"
+            "    3'd4: result = a ^ b;\n"
+            "    3'd5: result = a << 1;\n"
+            "    3'd6: result = a >> 1;\n"
+            "    default: result = a;\n"
+            "  endcase\n"
+            "end\n"
+            "assign zero = (result == 8'd0);\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.5,
+    ),
+    _p(
+        id="rtllm_adder16_hier",
+        human_desc=(
+            "Design a 16-bit ripple adder built from two 8-bit adder submodules "
+            "chained through the carry."
+        ),
+        machine_desc=(
+            "Instantiate adder8 twice: low half adds a[7:0]+b[7:0] with cin, high "
+            "half adds a[15:8]+b[15:8] with the low carry; cout is the high carry."
+        ),
+        header=(
+            "module adder16 (\n  input [15:0] a,\n  input [15:0] b,\n  input cin,\n"
+            "  output [15:0] sum,\n  output cout\n);"
+        ),
+        reference=(
+            "module adder16 (\n  input [15:0] a,\n  input [15:0] b,\n  input cin,\n"
+            "  output [15:0] sum,\n  output cout\n);\n"
+            "wire carry_mid;\n"
+            "adder8 lo (.a(a[7:0]), .b(b[7:0]), .cin(cin), .sum(sum[7:0]), .cout(carry_mid));\n"
+            "adder8 hi (.a(a[15:8]), .b(b[15:8]), .cin(carry_mid), .sum(sum[15:8]), .cout(cout));\n"
+            "endmodule\n"
+            "module adder8 (\n  input [7:0] a,\n  input [7:0] b,\n  input cin,\n"
+            "  output [7:0] sum,\n  output cout\n);\n"
+            "assign {cout, sum} = a + b + cin;\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.3,
+    ),
+    _p(
+        id="rtllm_mult8_shiftadd",
+        human_desc=(
+            "Design a combinational 8x8 multiplier producing a 16-bit product using "
+            "the shift-and-add scheme."
+        ),
+        machine_desc=(
+            "In a combinational for loop over i in 0..7, add (a << i) to the product "
+            "whenever b[i] is set."
+        ),
+        header=(
+            "module mult8 (\n  input [7:0] a,\n  input [7:0] b,\n"
+            "  output reg [15:0] product\n);"
+        ),
+        reference=(
+            "module mult8 (\n  input [7:0] a,\n  input [7:0] b,\n"
+            "  output reg [15:0] product\n);\n"
+            "integer i;\n"
+            "always @(*) begin\n"
+            "  product = 16'd0;\n"
+            "  for (i = 0; i < 8; i = i + 1) begin\n"
+            "    if (b[i]) product = product + ({8'd0, a} << i);\n"
+            "  end\n"
+            "end\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.2,
+    ),
+    _p(
+        id="rtllm_regfile4",
+        human_desc=(
+            "Design a 4-entry, 8-bit register file with one write port and two "
+            "combinational read ports. Register 0 is hardwired to zero."
+        ),
+        machine_desc=(
+            "reg [7:0] regs [0:3]. On posedge clk, if we and waddr != 0, "
+            "regs[waddr] <= wdata. rdata1 = raddr1 == 0 ? 0 : regs[raddr1]; same for "
+            "rdata2."
+        ),
+        header=(
+            "module regfile4 (\n  input clk,\n  input we,\n  input [1:0] waddr,\n"
+            "  input [7:0] wdata,\n  input [1:0] raddr1,\n  input [1:0] raddr2,\n"
+            "  output [7:0] rdata1,\n  output [7:0] rdata2\n);"
+        ),
+        reference=(
+            "module regfile4 (\n  input clk,\n  input we,\n  input [1:0] waddr,\n"
+            "  input [7:0] wdata,\n  input [1:0] raddr1,\n  input [1:0] raddr2,\n"
+            "  output [7:0] rdata1,\n  output [7:0] rdata2\n);\n"
+            "reg [7:0] regs [0:3];\n"
+            "always @(posedge clk) begin\n"
+            "  if (we && waddr != 2'd0) regs[waddr] <= wdata;\n"
+            "end\n"
+            "assign rdata1 = (raddr1 == 2'd0) ? 8'd0 : regs[raddr1];\n"
+            "assign rdata2 = (raddr2 == 2'd0) ? 8'd0 : regs[raddr2];\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.15,
+    ),
+    _p(
+        id="rtllm_fifo_depth4",
+        human_desc=(
+            "Design a 4-deep, 8-bit synchronous FIFO with write/read strobes and "
+            "full/empty flags; synchronous reset."
+        ),
+        machine_desc=(
+            "Use a 4-entry memory, 2-bit read/write pointers and a 3-bit count. On "
+            "posedge clk: reset clears pointers and count; a write (when not full) "
+            "stores data and bumps wptr; a read (when not empty) bumps rptr; count "
+            "adjusts accordingly. full = count == 4, empty = count == 0, dout is the "
+            "word at rptr."
+        ),
+        header=(
+            "module fifo4 (\n  input clk,\n  input reset,\n  input wr,\n"
+            "  input [7:0] din,\n  input rd,\n  output [7:0] dout,\n"
+            "  output full,\n  output empty\n);"
+        ),
+        reference=(
+            "module fifo4 (\n  input clk,\n  input reset,\n  input wr,\n"
+            "  input [7:0] din,\n  input rd,\n  output [7:0] dout,\n"
+            "  output full,\n  output empty\n);\n"
+            "reg [7:0] mem [0:3];\n"
+            "reg [1:0] wptr;\n"
+            "reg [1:0] rptr;\n"
+            "reg [2:0] count;\n"
+            "wire do_write;\n"
+            "wire do_read;\n"
+            "assign do_write = wr && !full;\n"
+            "assign do_read = rd && !empty;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) begin\n"
+            "    wptr <= 2'd0;\n    rptr <= 2'd0;\n    count <= 3'd0;\n"
+            "  end\n"
+            "  else begin\n"
+            "    if (do_write) begin\n"
+            "      mem[wptr] <= din;\n      wptr <= wptr + 1;\n"
+            "    end\n"
+            "    if (do_read) rptr <= rptr + 1;\n"
+            "    count <= count + do_write - do_read;\n"
+            "  end\n"
+            "end\n"
+            "assign dout = mem[rptr];\n"
+            "assign full = (count == 3'd4);\n"
+            "assign empty = (count == 3'd0);\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.08,
+    ),
+    _p(
+        id="rtllm_pwm",
+        human_desc=(
+            "Design an 8-bit PWM generator: a free-running counter compares against a "
+            "duty-cycle input; the output is high while the counter is below the duty "
+            "value. Synchronous reset."
+        ),
+        machine_desc=(
+            "On posedge clk: if reset, counter <= 0, else counter <= counter + 1. "
+            "Assign pwm = (counter < duty)."
+        ),
+        header=(
+            "module pwm8 (\n  input clk,\n  input reset,\n  input [7:0] duty,\n"
+            "  output pwm\n);"
+        ),
+        reference=(
+            "module pwm8 (\n  input clk,\n  input reset,\n  input [7:0] duty,\n"
+            "  output pwm\n);\n"
+            "reg [7:0] counter;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) counter <= 8'd0;\n  else counter <= counter + 1;\n"
+            "end\n"
+            "assign pwm = (counter < duty);\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.45,
+    ),
+    _p(
+        id="rtllm_freq_div3",
+        human_desc=(
+            "Design a divide-by-3 clock enable generator: the output pulses one cycle "
+            "out of every three. Synchronous reset."
+        ),
+        machine_desc=(
+            "Keep a 2-bit counter cycling 0,1,2. On posedge clk: reset or counter==2 "
+            "clears it, else it increments. tick = (counter == 2)."
+        ),
+        header="module freqdiv3 (\n  input clk,\n  input reset,\n  output tick\n);",
+        reference=(
+            "module freqdiv3 (\n  input clk,\n  input reset,\n  output tick\n);\n"
+            "reg [1:0] counter;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) counter <= 2'd0;\n"
+            "  else if (counter == 2'd2) counter <= 2'd0;\n"
+            "  else counter <= counter + 1;\n"
+            "end\n"
+            "assign tick = (counter == 2'd2);\nendmodule\n"
+        ),
+        kind="seq", difficulty="easy", base_solve_rate=0.4,
+    ),
+    _p(
+        id="rtllm_arbiter2",
+        human_desc=(
+            "Design a round-robin arbiter for two requesters: grants alternate when "
+            "both request; a single requester is granted immediately. Synchronous "
+            "reset; grants are one-hot."
+        ),
+        machine_desc=(
+            "Keep last_grant (1 bit). Combinationally: if both req bits set, grant "
+            "the one opposite to last_grant; else grant = req. On posedge clk: if a "
+            "grant was issued, last_grant <= which one (bit index)."
+        ),
+        header=(
+            "module arbiter2 (\n  input clk,\n  input reset,\n  input [1:0] req,\n"
+            "  output reg [1:0] grant\n);"
+        ),
+        reference=(
+            "module arbiter2 (\n  input clk,\n  input reset,\n  input [1:0] req,\n"
+            "  output reg [1:0] grant\n);\n"
+            "reg last_grant;\n"
+            "always @(*) begin\n"
+            "  if (req == 2'b11) grant = last_grant ? 2'b01 : 2'b10;\n"
+            "  else grant = req;\n"
+            "end\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) last_grant <= 1'b0;\n"
+            "  else if (grant == 2'b01) last_grant <= 1'b0;\n"
+            "  else if (grant == 2'b10) last_grant <= 1'b1;\n"
+            "end\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.1,
+    ),
+    _p(
+        id="rtllm_serializer",
+        human_desc=(
+            "Design an 8-to-1 serializer: a load pulse captures a byte, then the bits "
+            "shift out MSB-first one per cycle; busy is high while shifting."
+        ),
+        machine_desc=(
+            "Registers: shift[7:0], remaining[3:0]. On posedge clk: reset clears "
+            "both; load sets shift=data, remaining=8; else when remaining != 0, shift "
+            "left by one and decrement remaining. out = shift[7], busy = remaining != 0."
+        ),
+        header=(
+            "module serializer8 (\n  input clk,\n  input reset,\n  input load,\n"
+            "  input [7:0] data,\n  output out,\n  output busy\n);"
+        ),
+        reference=(
+            "module serializer8 (\n  input clk,\n  input reset,\n  input load,\n"
+            "  input [7:0] data,\n  output out,\n  output busy\n);\n"
+            "reg [7:0] shift;\n"
+            "reg [3:0] remaining;\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) begin\n"
+            "    shift <= 8'd0;\n    remaining <= 4'd0;\n"
+            "  end\n"
+            "  else if (load) begin\n"
+            "    shift <= data;\n    remaining <= 4'd8;\n"
+            "  end\n"
+            "  else if (remaining != 4'd0) begin\n"
+            "    shift <= {shift[6:0], 1'b0};\n    remaining <= remaining - 1;\n"
+            "  end\n"
+            "end\n"
+            "assign out = shift[7];\n"
+            "assign busy = (remaining != 4'd0);\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.1,
+    ),
+    _p(
+        id="rtllm_gray_hier",
+        human_desc=(
+            "Design a 4-bit Gray-code counter as two modules: a binary counter "
+            "submodule and a binary-to-Gray converter submodule wired together."
+        ),
+        machine_desc=(
+            "Module bin_counter4: posedge clk, sync reset, q <= q + 1. Module "
+            "bin2gray4: gray = bin ^ (bin >> 1). Top instantiates both."
+        ),
+        header="module gray_counter4 (\n  input clk,\n  input reset,\n  output [3:0] gray\n);",
+        reference=(
+            "module gray_counter4 (\n  input clk,\n  input reset,\n  output [3:0] gray\n);\n"
+            "wire [3:0] bin;\n"
+            "bin_counter4 counter (.clk(clk), .reset(reset), .q(bin));\n"
+            "bin2gray4 converter (.bin(bin), .gray(gray));\n"
+            "endmodule\n"
+            "module bin_counter4 (\n  input clk,\n  input reset,\n  output reg [3:0] q\n);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 4'd0;\n  else q <= q + 1;\nend\nendmodule\n"
+            "module bin2gray4 (\n  input [3:0] bin,\n  output [3:0] gray\n);\n"
+            "assign gray = bin ^ (bin >> 1);\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.12,
+    ),
+    _p(
+        id="rtllm_edge_counter",
+        human_desc=(
+            "Design a module that counts rising edges of a data signal, with an "
+            "8-bit saturating count and synchronous clear."
+        ),
+        machine_desc=(
+            "Register prev delays sig by one cycle. On posedge clk: clear sets count "
+            "to 0; else if sig & ~prev and count != 255, count <= count + 1. prev "
+            "always updates."
+        ),
+        header=(
+            "module edge_counter (\n  input clk,\n  input clear,\n  input sig,\n"
+            "  output reg [7:0] count\n);"
+        ),
+        reference=(
+            "module edge_counter (\n  input clk,\n  input clear,\n  input sig,\n"
+            "  output reg [7:0] count\n);\n"
+            "reg prev;\n"
+            "always @(posedge clk) begin\n"
+            "  if (clear) count <= 8'd0;\n"
+            "  else if (sig && !prev && count != 8'hFF) count <= count + 1;\n"
+            "  prev <= sig;\n"
+            "end\nendmodule\n"
+        ),
+        kind="seq", difficulty="hard", base_solve_rate=0.18,
+    ),
+    _p(
+        id="rtllm_onehot_mux_param",
+        human_desc=(
+            "Design a parameterized one-hot mux module and instantiate it at "
+            "widths 8 and 4: each instance ANDs its input with a one-hot select "
+            "mask and ORs the surviving bit onto a single output."
+        ),
+        machine_desc=(
+            "Module hotbit #(parameter W) computes out = |(in & mask). The top "
+            "instantiates hotbit #(.W(8)) on a/mask_a and hotbit #(.W(4)) on "
+            "b/mask_b."
+        ),
+        header=(
+            "module onehot_top (\n  input [7:0] a,\n  input [7:0] mask_a,\n"
+            "  input [3:0] b,\n  input [3:0] mask_b,\n  output bit_a,\n"
+            "  output bit_b\n);"
+        ),
+        reference=(
+            "module onehot_top (\n  input [7:0] a,\n  input [7:0] mask_a,\n"
+            "  input [3:0] b,\n  input [3:0] mask_b,\n  output bit_a,\n"
+            "  output bit_b\n);\n"
+            "hotbit #(.W(8)) ha (.in(a), .mask(mask_a), .out(bit_a));\n"
+            "hotbit #(.W(4)) hb (.in(b), .mask(mask_b), .out(bit_b));\n"
+            "endmodule\n"
+            "module hotbit #(parameter W = 2)(\n  input [W-1:0] in,\n"
+            "  input [W-1:0] mask,\n  output out\n);\n"
+            "assign out = |(in & mask);\nendmodule\n"
+        ),
+        kind="comb", difficulty="hard", base_solve_rate=0.15,
+    ),
+    _p(
+        id="rtllm_clamp_s8",
+        human_desc=(
+            "Design a signed clamp: limit a signed 8-bit input into the range "
+            "[lo, hi] given two signed bounds."
+        ),
+        machine_desc=(
+            "Using signed comparisons: out = in < lo ? lo : (in > hi ? hi : in)."
+        ),
+        header=(
+            "module clamp_s8 (\n  input signed [7:0] in,\n  input signed [7:0] lo,\n"
+            "  input signed [7:0] hi,\n  output signed [7:0] out\n);"
+        ),
+        reference=(
+            "module clamp_s8 (\n  input signed [7:0] in,\n  input signed [7:0] lo,\n"
+            "  input signed [7:0] hi,\n  output signed [7:0] out\n);\n"
+            "assign out = (in < lo) ? lo : ((in > hi) ? hi : in);\nendmodule\n"
+        ),
+        kind="comb", difficulty="easy", base_solve_rate=0.4,
+    ),
+]
+
+
+def rtllm() -> ProblemSet:
+    """The RTLLM-style problem set used in the Table 3 experiment."""
+    problem_set = ProblemSet(name="rtllm")
+    for problem in PROBLEMS:
+        problem_set.add(problem)
+    return problem_set

@@ -1,0 +1,137 @@
+"""Compiler facade: source text in, diagnostics + rendered log out.
+
+This is the tool the agents invoke.  The underlying analysis (lexer →
+preprocessor → parser → elaborator) is identical for every flavour; the
+flavour only controls how much *information* the rendered feedback
+carries, which is precisely the variable the paper's feedback-quality
+ablation manipulates:
+
+* ``simple``   -- no compiler log at all, just a fixed instruction;
+* ``iverilog`` -- terse logs, 7 distinguishable categories;
+* ``quartus``  -- verbose tagged logs, all 11 categories + hints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Literal, Optional
+
+from . import iverilog_style, quartus_style
+from .codes import ErrorCategory
+from .diagnostic import Diagnostic, Severity, sort_key
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle with
+    # repro.verilog, whose modules import the diagnostics catalog.
+    from ..verilog.ast import Design
+    from ..verilog.elaborate import ElabDesign
+    from ..verilog.source import SourceFile
+
+CompilerFlavor = Literal["simple", "iverilog", "quartus"]
+
+#: The fixed instruction used as "feedback" at the lowest quality level
+#: (paper §4.3.1: "Correct the syntax error in the code.").
+SIMPLE_FEEDBACK = "Correct the syntax error in the code."
+
+
+@dataclass
+class CompileResult:
+    """Outcome of one compiler invocation."""
+
+    source: "SourceFile"
+    flavor: CompilerFlavor
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    design: Optional["Design"] = None
+    elaborated: Optional["ElabDesign"] = None
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def categories(self) -> list[ErrorCategory]:
+        """Error categories present, in source order."""
+        seen: list[ErrorCategory] = []
+        for diag in sorted(self.errors, key=sort_key):
+            if diag.category not in seen:
+                seen.append(diag.category)
+        return seen
+
+    @property
+    def log(self) -> str:
+        """The feedback text an agent would see for this flavour."""
+        if self.ok:
+            return ""
+        if self.flavor == "simple":
+            return SIMPLE_FEEDBACK
+        if self.flavor == "iverilog":
+            return iverilog_style.render(self.diagnostics)
+        return quartus_style.render(self.diagnostics)
+
+
+class Compiler:
+    """Reusable compiler with a fixed flavour and file name."""
+
+    def __init__(self, flavor: CompilerFlavor = "iverilog", file_name: str = "main.v"):
+        if flavor not in ("simple", "iverilog", "quartus"):
+            raise ValueError(f"unknown compiler flavor: {flavor!r}")
+        self.flavor: CompilerFlavor = flavor
+        self.file_name = file_name
+
+    def compile(self, code: str) -> CompileResult:
+        return compile_source(code, name=self.file_name, flavor=self.flavor)
+
+
+def compile_source(
+    code: str,
+    name: str = "main.v",
+    flavor: CompilerFlavor = "iverilog",
+    include_files: dict[str, str] | None = None,
+) -> CompileResult:
+    """Run the full front-end over ``code`` and collect diagnostics."""
+    from ..verilog.elaborate import ElabDesign, elaborate
+    from ..verilog.parser import parse
+    from ..verilog.preprocessor import preprocess
+    from ..verilog.source import SourceFile
+
+    sink: list[Diagnostic] = []
+    raw = SourceFile(name, code)
+    pre = preprocess(raw, include_files=include_files)
+    sink.extend(pre.diagnostics)
+    design = parse(pre.source, sink)
+    elaborated: Optional[ElabDesign] = None
+    if not design.modules:
+        # No module parsed at all: report it once (unless parsing already
+        # produced an explanation).
+        if not sink:
+            sink.append(
+                Diagnostic(ErrorCategory.SYNTAX_NEAR, None, {"near": "empty design"})
+            )
+    else:
+        elaborated = elaborate(design, sink)
+    return CompileResult(
+        source=pre.source,
+        flavor=flavor,
+        diagnostics=_dedup(sink),
+        design=design,
+        elaborated=elaborated,
+    )
+
+
+def _dedup(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    seen: set[tuple] = set()
+    out: list[Diagnostic] = []
+    for diag in diagnostics:
+        key = (
+            diag.category,
+            diag.span.start if diag.span else None,
+            tuple(sorted((k, str(v)) for k, v in diag.args.items())),
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(diag)
+    return out

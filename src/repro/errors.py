@@ -1,0 +1,49 @@
+"""Exception hierarchy shared across the :mod:`repro` library.
+
+Every exception raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch a single base type.  Compiler
+*diagnostics* (syntax/semantic errors in user Verilog) are **not**
+exceptions -- they are data, collected in a
+:class:`repro.diagnostics.CompileResult`.  Exceptions are reserved for
+misuse of the library itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class VerilogInternalError(ReproError):
+    """The Verilog front-end reached an inconsistent internal state.
+
+    This indicates a bug in the front-end, never in user code: user-code
+    problems are reported as diagnostics instead.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator could not run an elaborated design.
+
+    Raised e.g. for designs with unsupported constructs, combinational
+    loops that do not converge, or stimulus that does not match the
+    design's ports.
+    """
+
+
+class DatasetError(ReproError):
+    """A dataset could not be built or loaded (bad problem id, corpus
+    inconsistency, failed error injection)."""
+
+
+class AgentError(ReproError):
+    """An agent was driven incorrectly (e.g. action emitted after Finish)."""
+
+
+class RetrievalError(ReproError):
+    """A RAG database or retriever was misconfigured."""
+
+
+class LLMError(ReproError):
+    """An LLM client failed (bad configuration, missing backend)."""

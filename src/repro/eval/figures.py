@@ -1,0 +1,42 @@
+"""Plain-text figure rendering: ASCII bar charts for Fig. 4 (error
+composition) and Fig. 7 (iteration histogram)."""
+
+from __future__ import annotations
+
+
+def bar_chart(
+    data: dict[str, float],
+    width: int = 40,
+    title: str = "",
+    fmt: str = "{:.1%}",
+) -> str:
+    """Horizontal ASCII bars, one per key, scaled to the max value."""
+    if not data:
+        return title
+    peak = max(data.values()) or 1.0
+    name_width = max(len(str(k)) for k in data)
+    lines = [title] if title else []
+    for key, value in data.items():
+        bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(f"{str(key):<{name_width}}  {bar:<{width}} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def composition_figure(
+    before: dict[str, float], after: dict[str, float], benchmark: str
+) -> str:
+    """Fig. 4 as two stacked text bars (inner/outer ring equivalent)."""
+    return "\n".join([
+        f"Figure 4 [{benchmark}] sample composition",
+        bar_chart(before, title="  before fixing:"),
+        bar_chart(after, title="  after fixing:"),
+    ])
+
+
+def histogram_figure(histogram: dict[int, int], title: str = "Figure 7") -> str:
+    """Fig. 7 as an ASCII histogram over iteration counts."""
+    total = sum(histogram.values()) or 1
+    shares = {
+        f"{k} iter": v / total for k, v in sorted(histogram.items())
+    }
+    return bar_chart(shares, title=f"{title} ({total} fixes)")

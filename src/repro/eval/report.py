@@ -1,0 +1,173 @@
+"""One-call reproduction report.
+
+:func:`run_full_report` executes every experiment (Tables 1-3, Figures
+4-7, the §5 extension) at a configurable scale and produces a
+paper-vs-measured report as structured data, JSON, or markdown --
+convenient for regenerating EXPERIMENTS.md after changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dataset.corpus import verilogeval
+from ..dataset.curate import SyntaxDataset, build_syntax_dataset
+from ..dataset.rtllm import rtllm
+from .experiments import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    figure5_logs,
+    figure6_failure_case,
+    run_figure7,
+    run_simfix_extension,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from .figures import composition_figure, histogram_figure
+
+
+@dataclass
+class ReportScale:
+    """How big to run everything; defaults take a few minutes."""
+
+    dataset_size: int = 212
+    dataset_samples_per_problem: int = 20
+    repeats: int = 3
+    n_samples: int = 10
+    sim_samples: int = 24
+    include_gpt4: bool = True
+    simfix_samples_per_problem: int = 2
+
+
+@dataclass
+class FullReport:
+    scale: ReportScale
+    table1: dict = field(default_factory=dict)
+    table2: dict = field(default_factory=dict)
+    table3: dict = field(default_factory=dict)
+    figure4: dict = field(default_factory=dict)
+    figure7: dict = field(default_factory=dict)
+    figure5: dict = field(default_factory=dict)
+    figure6: dict = field(default_factory=dict)
+    simfix: dict = field(default_factory=dict)
+    rendered: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {
+            "scale": vars(self.scale),
+            "table1": {" ".join(map(str, k)): v for k, v in self.table1.items()},
+            "table2": self.table2,
+            "table3": self.table3,
+            "figure4": self.figure4,
+            "figure7": {str(k): v for k, v in self.figure7.items()},
+            "figure6": self.figure6,
+            "simfix": self.simfix,
+        }
+        return json.dumps(payload, indent=2)
+
+    def to_markdown(self) -> str:
+        sections = ["# Reproduction report\n"]
+        for name in ("table1", "table2", "table3", "figure4", "figure7",
+                     "figure6", "simfix"):
+            if name in self.rendered:
+                sections.append(f"## {name}\n\n```\n{self.rendered[name]}\n```\n")
+        return "\n".join(sections)
+
+
+def run_full_report(
+    scale: Optional[ReportScale] = None,
+    dataset: Optional[SyntaxDataset] = None,
+    progress=None,
+) -> FullReport:
+    """Run every experiment and collect a paper-vs-measured report."""
+    scale = scale or ReportScale()
+    report = FullReport(scale=scale)
+
+    def tick(stage: str) -> None:
+        if progress is not None:
+            progress(stage)
+
+    if dataset is None:
+        tick("building VerilogEval-syntax dataset")
+        dataset = build_syntax_dataset(
+            verilogeval(),
+            samples_per_problem=scale.dataset_samples_per_problem,
+            target_size=scale.dataset_size,
+        )
+
+    tick("Table 1")
+    t1 = run_table1(dataset, repeats=scale.repeats, include_gpt4=scale.include_gpt4)
+    report.table1 = {
+        key: {"measured": rate, "paper": PAPER_TABLE1.get(key)}
+        for key, rate in t1.rates.items()
+    }
+    report.rendered["table1"] = t1.render()
+
+    tick("Table 2 / Figure 4")
+    t2 = run_table2(
+        verilogeval(), n_samples=scale.n_samples, sim_samples=scale.sim_samples
+    )
+    report.table2 = {
+        f"{bench}/{subset}": {
+            "pass@1": t2.pass_at(bench, subset, 1, False),
+            "pass@1_fixed": t2.pass_at(bench, subset, 1, True),
+            "pass@5": t2.pass_at(bench, subset, min(5, scale.n_samples), False),
+            "pass@5_fixed": t2.pass_at(bench, subset, min(5, scale.n_samples), True),
+            "paper": PAPER_TABLE2.get((bench, subset)),
+        }
+        for bench in ("human", "machine")
+        for subset in ("all", "easy", "hard")
+    }
+    report.rendered["table2"] = t2.render()
+    report.figure4 = {
+        bench: {
+            "before": t2.error_composition(bench, fixed=False),
+            "after": t2.error_composition(bench, fixed=True),
+            "syntax_share_of_failures": t2.syntax_share_of_failures(bench),
+        }
+        for bench in ("human", "machine")
+    }
+    report.rendered["figure4"] = "\n\n".join(
+        composition_figure(
+            report.figure4[bench]["before"], report.figure4[bench]["after"], bench
+        )
+        for bench in ("human", "machine")
+    )
+
+    tick("Table 3")
+    t3 = run_table3(rtllm(), n_samples=scale.n_samples, sim_samples=scale.sim_samples)
+    report.table3 = {
+        "syntax_before": t3.syntax_before, "syntax_after": t3.syntax_after,
+        "pass1_before": t3.pass1_before, "pass1_after": t3.pass1_after,
+        "paper": PAPER_TABLE3,
+    }
+    report.rendered["table3"] = t3.render()
+
+    tick("Figure 7")
+    f7 = run_figure7(dataset, repeats=max(1, scale.repeats // 2))
+    report.figure7 = dict(f7.histogram)
+    report.rendered["figure7"] = histogram_figure(f7.histogram)
+
+    tick("Figures 5/6")
+    report.figure5 = figure5_logs()
+    report.figure6 = figure6_failure_case(repeats=max(4, scale.repeats))
+    report.rendered["figure6"] = (
+        report.figure6["log"] + f"\nfix rate: {report.figure6['fix_rate']:.2f}"
+    )
+
+    tick("§5 extension")
+    simfix = run_simfix_extension(
+        verilogeval(),
+        samples_per_problem=scale.simfix_samples_per_problem,
+        sim_samples=scale.sim_samples,
+    )
+    report.simfix = {
+        difficulty: {"attempted": attempted, "fixed": fixed}
+        for difficulty, (attempted, fixed) in simfix.by_difficulty.items()
+    }
+    report.rendered["simfix"] = simfix.render()
+    return report

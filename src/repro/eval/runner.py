@@ -1,0 +1,86 @@
+"""Shared experiment plumbing.
+
+* :func:`run_fix_experiment` -- run a fixer configuration over the
+  VerilogEval-syntax dataset with n repeated trials (the paper repeats
+  each experiment 10 times and reports the average fix rate).
+* :func:`evaluate_sample` -- classify one raw LLM sample as pass /
+  syntax-error / simulation-error using the rule-fixer, the compiler and
+  the differential testbench (the paper's evaluation flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Literal, Optional
+
+from ..core.fixer import RTLFixer
+from ..core.rulefix import rule_fix
+from ..dataset.curate import SyntaxDataset
+from ..dataset.problem import Problem
+from ..diagnostics import compile_source
+from ..sim import run_differential
+from .metrics import fix_rate
+
+Verdict = Literal["pass", "syntax", "sim"]
+
+
+@dataclass
+class FixExperimentResult:
+    """Per-entry fix counts for one configuration."""
+
+    label: str
+    trials: int
+    #: entry index -> number of trials that fixed it
+    fixed_counts: list[int] = field(default_factory=list)
+    #: iterations used in each *successful* trial (feeds Fig. 7)
+    iterations: list[int] = field(default_factory=list)
+
+    @property
+    def rate(self) -> float:
+        return fix_rate((c, self.trials) for c in self.fixed_counts)
+
+
+def run_fix_experiment(
+    dataset: SyntaxDataset,
+    fixer: RTLFixer,
+    repeats: int = 10,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> FixExperimentResult:
+    """Run ``fixer`` over every dataset entry ``repeats`` times."""
+    result = FixExperimentResult(label=fixer.config.label(), trials=repeats)
+    total = len(dataset)
+    for index, entry in enumerate(dataset):
+        fixed = 0
+        for trial in range(repeats):
+            outcome = fixer.with_seed(fixer.config.seed + trial).fix(
+                entry.code, description=entry.description
+            )
+            if outcome.success:
+                fixed += 1
+                result.iterations.append(outcome.iterations)
+        result.fixed_counts.append(fixed)
+        if progress is not None:
+            progress(index + 1, total)
+    return result
+
+
+def evaluate_sample(raw: str, problem: Problem, samples: int = 32) -> Verdict:
+    """Judge one raw LLM sample: does it compile, and does it match the
+    golden model in differential simulation?"""
+    fixed = rule_fix(raw)
+    result = compile_source(fixed.code)
+    if not result.ok or result.elaborated is None:
+        return "syntax"
+    reference = compile_source(problem.reference).elaborated
+    diff = run_differential(result.elaborated, reference, samples=samples)
+    return "pass" if diff.passed else "sim"
+
+
+def evaluate_code(code: str, problem: Problem, samples: int = 32) -> Verdict:
+    """Like :func:`evaluate_sample` but for already-rule-fixed code."""
+    result = compile_source(code)
+    if not result.ok or result.elaborated is None:
+        return "syntax"
+    reference = compile_source(problem.reference).elaborated
+    diff = run_differential(result.elaborated, reference, samples=samples)
+    return "pass" if diff.passed else "sim"

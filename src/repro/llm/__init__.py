@@ -1,0 +1,42 @@
+"""LLM layer: the simulated repair model (offline stand-in for GPT-3.5 /
+GPT-4) plus the documented OpenAI-API path."""
+
+from .base import ChatMessage, LLMClient, RepairModel, RepairSession, RepairStep
+from .openai_stub import (
+    ONE_SHOT_SYSTEM_PROMPT,
+    REACT_SYSTEM_PROMPT,
+    OpenAIRepairModel,
+    build_repair_messages,
+    parse_repair_reply,
+)
+from .repair.diagnosis import ParsedError, detect_flavor, parse_feedback
+from .repair.logic_strategies import enumerate_logic_edits
+from .repair.strategies import STRATEGIES, apply_strategy, declared_names
+from .simfix import LOGIC_CAPABILITY, SimulatedLogicDebugger
+from .simulated import CAPABILITY, CATEGORY_DELTA, ROUND_SUCCESS, SimulatedLLM
+
+__all__ = [
+    "CAPABILITY",
+    "CATEGORY_DELTA",
+    "ChatMessage",
+    "LLMClient",
+    "LOGIC_CAPABILITY",
+    "SimulatedLogicDebugger",
+    "enumerate_logic_edits",
+    "ONE_SHOT_SYSTEM_PROMPT",
+    "OpenAIRepairModel",
+    "ParsedError",
+    "REACT_SYSTEM_PROMPT",
+    "ROUND_SUCCESS",
+    "RepairModel",
+    "RepairSession",
+    "RepairStep",
+    "STRATEGIES",
+    "SimulatedLLM",
+    "apply_strategy",
+    "build_repair_messages",
+    "declared_names",
+    "detect_flavor",
+    "parse_feedback",
+    "parse_repair_reply",
+]

@@ -1,0 +1,1 @@
+"""Repair machinery: feedback parsing and edit strategies."""

@@ -1,0 +1,87 @@
+"""Simulated LLM for *logic* (simulation-error) debugging — paper §5.
+
+The paper's preliminary study found LLMs "only exhibited proficiency in
+fixing logic implementation errors for simple problems but struggled
+with more complex questions".  This debugger reproduces that behaviour:
+
+* a per-sample capability coin, much stingier than the syntax fixer's
+  and strongly difficulty-dependent;
+* when capable, the model walks the space of plausible single-site
+  semantic edits (:mod:`repro.llm.repair.logic_strategies`), relying on
+  the agent's simulation feedback to accept or reject each proposal;
+* when not capable, it rewrites cosmetically or tweaks the wrong site,
+  as real models do when they cannot interpret waveform feedback.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .base import RepairStep
+from .repair.logic_strategies import enumerate_logic_edits
+from .simulated import _stable_unit, _tier_key
+
+#: Probability that a sample's logic bug is within the model's reach,
+#: by (tier, difficulty).  Calibrated to the paper's qualitative claim:
+#: useful on simple problems, nearly hopeless on hard ones.
+LOGIC_CAPABILITY = {
+    ("gpt-3.5", "easy"): 0.55,
+    ("gpt-3.5", "hard"): 0.10,
+    ("gpt-4", "easy"): 0.75,
+    ("gpt-4", "hard"): 0.25,
+}
+
+
+@dataclass
+class SimulatedLogicDebugger:
+    """RepairModel-like factory for simulation-debugging sessions."""
+
+    tier: str = "gpt-3.5-sim"
+    seed: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.tier}-logic"
+
+    def start(self, code: str, difficulty: str = "hard") -> "LogicDebugSession":
+        return LogicDebugSession(self, code, difficulty)
+
+
+class LogicDebugSession:
+    """One logic-debugging conversation; walks candidate edits."""
+    def __init__(self, model: SimulatedLogicDebugger, code: str, difficulty: str):
+        tier = _tier_key(model.tier)
+        key = f"logic|{model.seed}|{tier}|{difficulty}|{code}"
+        self.rng = random.Random(key)
+        ceiling = LOGIC_CAPABILITY[(tier, "easy" if difficulty == "easy" else "hard")]
+        self.capable = _stable_unit("cap|" + key) < ceiling
+        self._candidates = enumerate_logic_edits(code) if self.capable else []
+        self.rng.shuffle(self._candidates)
+        self._cursor = 0
+
+    def step(self, code: str, feedback: str) -> RepairStep:
+        """Propose the next candidate logic edit given waveform feedback."""
+        if not self.capable:
+            return RepairStep(
+                thought="The waveform comparison is hard to interpret; the "
+                "implementation looks consistent with the description to me.",
+                code=code,
+                declared_done=True,
+            )
+        while self._cursor < len(self._candidates):
+            candidate = self._candidates[self._cursor]
+            self._cursor += 1
+            if candidate != code:
+                return RepairStep(
+                    thought="The mismatching samples suggest a polarity or "
+                    "operator slip; I will try a targeted one-line change "
+                    "and re-simulate.",
+                    code=candidate,
+                )
+        return RepairStep(
+            thought="I have exhausted the plausible single-site edits "
+            "without matching the expected waveform.",
+            code=code,
+            declared_done=True,
+        )

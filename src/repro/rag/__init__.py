@@ -1,0 +1,29 @@
+"""Retrieval-Augmented Generation: the human-guidance database and the
+retrievers that query it (paper §3.3)."""
+
+from .database import GuidanceDatabase, GuidanceEntry
+from .guidance_data import build_default_database
+from .retrievers import (
+    RETRIEVER_KINDS,
+    ExactTagRetriever,
+    FuzzyRetriever,
+    JaccardRetriever,
+    Retrieved,
+    Retriever,
+    TfIdfRetriever,
+    make_retriever,
+)
+
+__all__ = [
+    "ExactTagRetriever",
+    "FuzzyRetriever",
+    "GuidanceDatabase",
+    "GuidanceEntry",
+    "JaccardRetriever",
+    "RETRIEVER_KINDS",
+    "Retrieved",
+    "Retriever",
+    "TfIdfRetriever",
+    "build_default_database",
+    "make_retriever",
+]

@@ -1,0 +1,98 @@
+"""The human-expert-guidance retrieval database (paper §3.3).
+
+Each :class:`GuidanceEntry` pairs a compiler-log pattern with a human
+explanation and a demonstration of the fix, categorized by the error
+taxonomy.  Entries are keyed the way the paper keys them: by compiler
+error tags ("we opted for an exact match to error tags for simplicity"),
+with fuzzy / Jaccard / vector-ish retrievers also provided for the
+ablation.
+
+The database is a persistent, non-parametric external memory: it can be
+serialized to JSON and reloaded, and new entries can be added as new
+struggle cases are curated.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..diagnostics import ErrorCategory
+from ..errors import RetrievalError
+
+
+@dataclass(frozen=True)
+class GuidanceEntry:
+    """One curated entry: compiler log sample + human expert guidance."""
+
+    category: ErrorCategory
+    compiler: str  # "iverilog" | "quartus"
+    #: A representative compiler log line for this error.
+    log_pattern: str
+    #: The human expert's explanation / instruction.
+    guidance: str
+    #: A short demonstration of the repair (before -> after style).
+    demonstration: str = ""
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["category"] = self.category.value
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "GuidanceEntry":
+        return GuidanceEntry(
+            category=ErrorCategory(data["category"]),
+            compiler=data["compiler"],
+            log_pattern=data["log_pattern"],
+            guidance=data["guidance"],
+            demonstration=data.get("demonstration", ""),
+        )
+
+
+@dataclass
+class GuidanceDatabase:
+    """The retrieval store; entries are grouped per compiler flavour."""
+
+    entries: list[GuidanceEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def add(self, entry: GuidanceEntry) -> None:
+        self.entries.append(entry)
+
+    def for_compiler(self, compiler: str) -> list[GuidanceEntry]:
+        if compiler not in ("iverilog", "quartus"):
+            raise RetrievalError(f"unknown compiler flavour {compiler!r}")
+        return [e for e in self.entries if e.compiler == compiler]
+
+    def categories(self, compiler: str) -> list[ErrorCategory]:
+        seen: list[ErrorCategory] = []
+        for entry in self.for_compiler(compiler):
+            if entry.category not in seen:
+                seen.append(entry.category)
+        return seen
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps([e.to_dict() for e in self.entries], indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> "GuidanceDatabase":
+        return GuidanceDatabase(
+            entries=[GuidanceEntry.from_dict(d) for d in json.loads(text)]
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    @staticmethod
+    def load(path: str) -> "GuidanceDatabase":
+        with open(path) as f:
+            return GuidanceDatabase.from_json(f.read())

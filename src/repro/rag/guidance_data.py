@@ -1,0 +1,309 @@
+"""The curated human-expert guidance entries.
+
+Mirrors the paper's database scale: 7 common error categories with 30
+entries for iverilog and 11 common error categories with 45 entries for
+Quartus.  The wording follows the style of the paper's Fig. 3 examples
+("Check if 'clk' is an input...", "Carefully examine the index
+values...").
+"""
+
+from __future__ import annotations
+
+from ..diagnostics import ErrorCategory
+from .database import GuidanceDatabase, GuidanceEntry
+
+_E = ErrorCategory
+
+# (category, log_pattern, guidance, demonstration)
+_IVERILOG_ENTRIES: list[tuple[ErrorCategory, str, str, str]] = [
+    # UNDECLARED_ID (5)
+    (_E.UNDECLARED_ID,
+     "Unable to bind wire/reg/memory `clk' in `top_module'",
+     "Check if 'clk' is an input. If not, and if 'clk' is used within the "
+     "module, make sure the name is correct. If it's meant to trigger an "
+     "'always' block, replace 'posedge clk' with '*'.",
+     "module top_module(input clk, ...);  // add clk to the port list"),
+    (_E.UNDECLARED_ID,
+     "Unable to bind wire/reg/memory `q_next' in `top_module'",
+     "The signal is used but never declared. Declare it as a wire or reg "
+     "before the first use, or fix the spelling to match an existing signal.",
+     "reg q_next;  // declare before use"),
+    (_E.UNDECLARED_ID,
+     "Unable to bind wire/reg/memory `temp' in `top_module'",
+     "Compare the undeclared name against nearby declarations; LLMs often "
+     "drift a suffix (tmp vs temp). Rename the use to the declared signal.",
+     "assign out = tmp;  // was 'temp'"),
+    (_E.UNDECLARED_ID,
+     "error: Unknown module type: submodule",
+     "The instantiated module does not exist in this file. Either define "
+     "the module or correct the instance's module name.",
+     "my_adder u1 (.a(a), .b(b));  // module my_adder must be defined"),
+    (_E.UNDECLARED_ID,
+     "Failed to evaluate event expression.",
+     "An identifier inside @(...) is not declared. Clocks and resets must "
+     "appear in the port list before being used in a sensitivity list.",
+     "input clk,  // then: always @(posedge clk)"),
+    # INDEX_RANGE (5)
+    (_E.INDEX_RANGE,
+     "Index out[8] is out of range.",
+     "Carefully examine the index values to prevent encountering 'index "
+     "out of bound' errors in your code. The legal indices of a vector "
+     "declared [7:0] are 0 through 7.",
+     "assign y = out[7];  // not out[8]"),
+    (_E.INDEX_RANGE,
+     "Index in[-1] is out of range.",
+     "A computed index went negative. Re-derive the arithmetic at the loop "
+     "boundaries (the first and last iterations) and clamp or shift it.",
+     "q[(i+1)*4 + j]  // avoid (i-1) when i starts at 0"),
+    (_E.INDEX_RANGE,
+     "Index q[16] is out of range.",
+     "When utilizing parameters for indexing, verify the parameter value "
+     "against the declared range; an N-entry structure has indices 0..N-1.",
+     "for (i = 0; i < 16; i = i + 1)  // use <, not <="),
+    (_E.INDEX_RANGE,
+     "part select out[9:2] is out of range",
+     "A part-select must lie entirely inside the declared range. Shrink "
+     "the select or widen the declaration.",
+     "assign y = a[7:0];"),
+    (_E.INDEX_RANGE,
+     "Index mem[256] is out of range.",
+     "Memory word indices run from the declared low bound to the high "
+     "bound. Check the address width feeding this memory.",
+     "reg [7:0] mem [0:255];  // mem[255] is the last word"),
+    # INVALID_LVALUE (5)
+    (_E.INVALID_LVALUE,
+     "out is not a valid l-value in top_module.",
+     "Use assign statements instead of always block if possible. If the "
+     "signal must be written inside an always block, declare it as reg.",
+     "output reg out,  // or: assign out = expr;"),
+    (_E.INVALID_LVALUE,
+     "q is not a valid l-value in top_module.",
+     "A wire cannot be assigned procedurally. Change the declaration from "
+     "wire to reg, or move the assignment out of the always block.",
+     "reg [3:0] q;"),
+    (_E.INVALID_LVALUE,
+     "a is not a valid l-value in top_module.",
+     "Input ports can never be assigned inside the module. Drive a new "
+     "internal signal instead and leave the input untouched.",
+     "wire a_gated = a & en;"),
+    (_E.INVALID_LVALUE,
+     "count is not a valid l-value in top_module.",
+     "When an output is written with <= inside always @(posedge clk), its "
+     "declaration needs the reg keyword: 'output reg [7:0] count'.",
+     "output reg [7:0] count"),
+    (_E.INVALID_LVALUE,
+     "y is not a valid l-value in top_module.",
+     "Pick one driving style per signal: continuous 'assign' for wires, "
+     "procedural blocks for regs. Mixing them on one signal is an error.",
+     "assign y = sel ? a : b;"),
+    # SYNTAX_NEAR (5)
+    (_E.SYNTAX_NEAR,
+     "main.v:5: syntax error",
+     "Read the reported line and the line before it. The most common "
+     "causes are a missing semicolon, a misspelled keyword (asign, "
+     "modul), or an operator that Verilog does not have.",
+     "assign y = a;  // keyword is 'assign'"),
+    (_E.SYNTAX_NEAR,
+     "main.v:12: syntax error",
+     "Check that every statement inside an always block ends with ';' and "
+     "that parentheses and begin/end pairs are balanced above this line.",
+     "if (en) begin q <= d; end"),
+    (_E.SYNTAX_NEAR,
+     "syntax error near '='",
+     "A doubled operator such as '==' on the left of an assignment, or a "
+     "missing l-value, commonly triggers this. Rewrite the assignment.",
+     "assign y = a;  // not: assign y == a"),
+    (_E.SYNTAX_NEAR,
+     "syntax error near 'endmodule'",
+     "The parser reached endmodule while a statement was incomplete. "
+     "Inspect the last statement in the module for a missing ';' or end.",
+     "q <= d;  // terminate the final statement"),
+    (_E.SYNTAX_NEAR,
+     "I give up.",
+     "iverilog aborts like this on badly malformed input. Re-emit the "
+     "whole module cleanly: module header, declarations, logic, endmodule.",
+     "module top_module(...); ... endmodule"),
+    # BAD_LITERAL (3)
+    (_E.BAD_LITERAL,
+     "Malformed number: 4'b0012",
+     "Binary literals may only contain 0, 1, x and z. Rewrite the constant "
+     "with digits legal for its base, or switch the base prefix.",
+     "4'b0010  // or 4'd2"),
+    (_E.BAD_LITERAL,
+     "Malformed number: 8'hGG",
+     "Hex literals allow 0-9 and a-f. Replace the invalid digits; if you "
+     "meant a placeholder, use x (unknown) instead.",
+     "8'hAB"),
+    (_E.BAD_LITERAL,
+     "Malformed number: 4'd1a",
+     "Decimal-based literals cannot contain letters. Either remove the "
+     "letter or change the base to 'h.",
+     "4'd10  // or 8'h1a"),
+    # PORT_MISMATCH (4)
+    (_E.PORT_MISMATCH,
+     "port ``cin_p'' is not a port of adder8.",
+     "A named connection .name(...) must match a port declared by the "
+     "submodule. Open the submodule header and copy the exact port names.",
+     ".cin(carry)  // adder8 declares 'cin'"),
+    (_E.PORT_MISMATCH,
+     "port ``data'' is not a port of fifo4.",
+     "Port names are case sensitive and must match exactly; 'data' vs "
+     "'din' is a typical slip. Use the declared name.",
+     ".din(data_in)"),
+    (_E.PORT_MISMATCH,
+     "port ``q'' is not a port of bin2gray4.",
+     "List the submodule's ports before wiring: the output may be called "
+     "'gray' rather than 'q'.",
+     ".gray(gray_out)"),
+    (_E.PORT_MISMATCH,
+     "too many positional port connections",
+     "Positional connections must not exceed the number of declared "
+     "ports. Prefer named connections to avoid ordering mistakes.",
+     "sub u1 (.a(x), .b(y), .out(z));"),
+    # DUPLICATE_DECL (3)
+    (_E.DUPLICATE_DECL,
+     "`q' has already been declared in this scope.",
+     "Delete the second declaration. Note that 'output reg q' already "
+     "declares q: a separate 'reg q;' line afterwards is a duplicate.",
+     "output reg q,  // no extra 'reg q;' needed"),
+    (_E.DUPLICATE_DECL,
+     "`temp' has already been declared in this scope.",
+     "Two declarations of the same name in one module are illegal. Remove "
+     "one or rename the second signal if both are genuinely needed.",
+     "wire temp2;"),
+    (_E.DUPLICATE_DECL,
+     "`i' has already been declared in this scope.",
+     "The loop variable is declared twice (e.g. 'integer i;' appearing in "
+     "both the module and the block). Keep only one declaration.",
+     "integer i;  // once"),
+]
+
+_QUARTUS_EXTRA: list[tuple[ErrorCategory, str, str, str]] = [
+    # MISSING_SEMICOLON (4)
+    (_E.MISSING_SEMICOLON,
+     'Error (10201): missing ";" before \'endmodule\'',
+     "Insert a semicolon at the end of the statement preceding the "
+     "reported token. Every assign, declaration and procedural statement "
+     "ends with ';'.",
+     "assign out = in;"),
+    (_E.MISSING_SEMICOLON,
+     'Error (10201): missing ";" before \'assign\'',
+     "The previous line is missing its terminator. Add ';' to it rather "
+     "than editing the reported line.",
+     "wire [7:0] t;\nassign t = a;"),
+    (_E.MISSING_SEMICOLON,
+     'Error (10201): missing ";" before \'end\'',
+     "Nonblocking assignments inside always blocks also need semicolons: "
+     "'q <= d;'.",
+     "q <= d;"),
+    (_E.MISSING_SEMICOLON,
+     'Error (10201): missing ";" before \'else\'',
+     "The statement in the if-branch must be terminated before 'else'.",
+     "if (reset) q <= 0;\nelse q <= q + 1;"),
+    # UNBALANCED_BLOCK (4)
+    (_E.UNBALANCED_BLOCK,
+     'Error (10759): expecting "end" near \'endmodule\'',
+     "A begin block was never closed. Count begin/end pairs inside each "
+     "always block and add the missing 'end'.",
+     "always @(*) begin ... end"),
+    (_E.UNBALANCED_BLOCK,
+     'Error (10759): expecting "endcase" near \'endmodule\'',
+     "Every case statement must be closed with 'endcase' before the "
+     "enclosing block ends.",
+     "case (s) ... endcase"),
+    (_E.UNBALANCED_BLOCK,
+     'Error (10759): expecting "endmodule" near \'module\'',
+     "The previous module was not closed. Add 'endmodule' before starting "
+     "a new module declaration.",
+     "endmodule\nmodule next_one(...);"),
+    (_E.UNBALANCED_BLOCK,
+     'Error (10759): expecting "end" near \'always\'',
+     "An always block started before the previous one's begin/end was "
+     "balanced. Close the earlier block first.",
+     "end\nalways @(posedge clk) ..."),
+    # C_STYLE_SYNTAX (4)
+    (_E.C_STYLE_SYNTAX,
+     'Error (10173): operator "++" is not supported in Verilog HDL',
+     "Verilog has no increment operator. Use an explicit assignment such "
+     "as i = i + 1 instead.",
+     "for (i = 0; i < 8; i = i + 1)"),
+    (_E.C_STYLE_SYNTAX,
+     'Error (10173): operator "+=" is not supported in Verilog HDL',
+     "Compound assignments come from C. Expand them: 'x += y' becomes "
+     "'x = x + y'.",
+     "count = count + in[i];"),
+    (_E.C_STYLE_SYNTAX,
+     'Error (10173): operator "--" is not supported in Verilog HDL',
+     "Replace the decrement with 'i = i - 1'. This is accepted in "
+     "SystemVerilog but not in plain Verilog HDL.",
+     "for (i = 7; i >= 0; i = i - 1)"),
+    (_E.C_STYLE_SYNTAX,
+     'Error (10173): operator "*=" is not supported in Verilog HDL',
+     "Expand compound arithmetic updates into full assignments.",
+     "p = p * 2;"),
+    # EVENT_EXPR (3)
+    (_E.EVENT_EXPR,
+     "Error (10216): invalid event control expression: empty event control",
+     "The sensitivity list is empty. Use @(*) for combinational logic or "
+     "@(posedge clk) for sequential logic.",
+     "always @(*) ..."),
+    (_E.EVENT_EXPR,
+     "Error (10216): invalid event control expression: missing expression "
+     "after 'posedge'",
+     "posedge/negedge must be followed by a signal name, typically the "
+     "clock.",
+     "always @(posedge clk)"),
+    (_E.EVENT_EXPR,
+     "Error (10216): invalid event control expression: missing event control",
+     "A bare 'always' loops forever in simulation. Add an event control: "
+     "@(*) for combinational or an edge expression for clocked logic.",
+     "always @(posedge clk) begin ... end"),
+]
+
+
+#: Representative message arguments used to render each category's
+#: sample Quartus log line for the database.
+_QUARTUS_EXAMPLE_ARGS: dict[ErrorCategory, dict] = {
+    _E.UNDECLARED_ID: {"name": "clk"},
+    _E.INDEX_RANGE: {"index": 8, "range": "[7:0]", "name": "out"},
+    _E.INVALID_LVALUE: {"name": "out", "reason": "wire in procedural block"},
+    _E.SYNTAX_NEAR: {"near": "'endmodule'"},
+    _E.BAD_LITERAL: {"literal": "4'b0012"},
+    _E.PORT_MISMATCH: {"port": "cin", "module": "adder8"},
+    _E.DUPLICATE_DECL: {"name": "q", "what": "net"},
+}
+
+
+def _requartus(entry: tuple[ErrorCategory, str, str, str]) -> tuple[ErrorCategory, str, str, str]:
+    """Render a category's sample log line in genuine Quartus phrasing so
+    text-similarity retrievers see representative wording."""
+    from ..diagnostics.quartus_style import _TEMPLATES
+    from ..diagnostics import quartus_tag
+
+    category, _, guidance, demo = entry
+    args = _QUARTUS_EXAMPLE_ARGS.get(category, {})
+    message = _TEMPLATES[category].format_map(
+        {**{k: "?" for k in ("name", "index", "range", "reason", "near",
+                             "literal", "port", "module", "what", "before",
+                             "expected", "op")}, **args}
+    )
+    log = f"Error ({quartus_tag(category)}): Verilog HDL error at main.v(5): {message}"
+    return (category, log, guidance, demo)
+
+
+def build_default_database() -> GuidanceDatabase:
+    """The curated database: 30 iverilog entries over 7 categories plus
+    45 Quartus entries over 11 categories, matching the paper's scale."""
+    db = GuidanceDatabase()
+    for category, log, guidance, demo in _IVERILOG_ENTRIES:
+        db.add(GuidanceEntry(
+            category=category, compiler="iverilog",
+            log_pattern=log, guidance=guidance, demonstration=demo,
+        ))
+    for entry in [_requartus(e) for e in _IVERILOG_ENTRIES] + _QUARTUS_EXTRA:
+        category, log, guidance, demo = entry
+        db.add(GuidanceEntry(
+            category=category, compiler="quartus",
+            log_pattern=log, guidance=guidance, demonstration=demo,
+        ))
+    return db

@@ -1,0 +1,45 @@
+"""Event/cycle simulator for the supported Verilog subset.
+
+Used to judge *functional* correctness (the paper's pass@k metric) by
+differential simulation against a reference implementation.
+"""
+
+from .eval import EvalContext, Evaluator, NetState
+from .exec import StmtExecutor
+from .feedback import SimFeedback, make_sim_feedback, simulate_with_traces
+from .simulator import Simulator
+from .trace import Trace, render_comparison, render_waveform
+from .vcd import VcdWriter, dump_comparison_vcd, dump_vcd
+from .testbench import (
+    CLOCK_NAMES,
+    RESET_NAMES,
+    Mismatch,
+    TestbenchResult,
+    check_interface,
+    run_differential,
+)
+from .values import Logic
+
+__all__ = [
+    "CLOCK_NAMES",
+    "EvalContext",
+    "Evaluator",
+    "Logic",
+    "Mismatch",
+    "NetState",
+    "RESET_NAMES",
+    "SimFeedback",
+    "Simulator",
+    "StmtExecutor",
+    "TestbenchResult",
+    "Trace",
+    "VcdWriter",
+    "check_interface",
+    "dump_comparison_vcd",
+    "dump_vcd",
+    "make_sim_feedback",
+    "render_comparison",
+    "render_waveform",
+    "run_differential",
+    "simulate_with_traces",
+]

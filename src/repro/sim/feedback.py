@@ -1,0 +1,116 @@
+"""Simulation-error feedback generation (paper §5).
+
+Runs the differential testbench while tracing outputs, then formats the
+result the way the paper describes: a summary of the output error count
+plus a text-formatted waveform-like comparison of the erroneous module's
+outputs against the golden solution's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..verilog.elaborate import ElabDesign
+from .simulator import Simulator
+from .testbench import CLOCK_NAMES, RESET_NAMES, _random_vector
+from .trace import Trace, render_comparison
+from .values import Logic
+
+
+@dataclass
+class SimFeedback:
+    """Structured simulation feedback for the debugging agent."""
+
+    mismatch_count: int
+    samples: int
+    text: str
+
+    @property
+    def passed(self) -> bool:
+        return self.mismatch_count == 0
+
+
+def simulate_with_traces(
+    candidate: ElabDesign,
+    reference: ElabDesign,
+    samples: int = 16,
+    seed: int = 0,
+) -> tuple[Trace, Trace]:
+    """Run both designs on identical stimulus, tracing every output."""
+    cand_sim = Simulator(candidate)
+    ref_sim = Simulator(reference)
+    rng = random.Random(seed)
+
+    inputs = ref_sim.inputs
+    clock = next((p.name for p in inputs if p.name in CLOCK_NAMES), None)
+    resets = [p.name for p in inputs if p.name in RESET_NAMES]
+    data = [p for p in inputs if p.name != clock and p.name not in resets]
+    outputs = [p.name for p in ref_sim.outputs]
+
+    cand_trace = Trace(signals=list(outputs))
+    ref_trace = Trace(signals=list(outputs))
+
+    for cycle in range(samples):
+        stimulus: dict[str, Logic | int] = {}
+        in_reset = bool(resets) and cycle < 2
+        for name in resets:
+            active = 1 if not name.endswith("n") else 0
+            stimulus[name] = active if in_reset else active ^ 1
+        for port in data:
+            stimulus[port.name] = _random_vector(rng, port.width)
+        if clock is None:
+            cand_sim.step(dict(stimulus))
+            ref_sim.step(dict(stimulus))
+        else:
+            stimulus[clock] = 0
+            cand_sim.step(dict(stimulus))
+            ref_sim.step(dict(stimulus))
+            cand_sim.step({clock: 1})
+            ref_sim.step({clock: 1})
+        if not in_reset:
+            cand_trace.record(cand_sim)
+            ref_trace.record(ref_sim)
+    return cand_trace, ref_trace
+
+
+def make_sim_feedback(
+    candidate: ElabDesign,
+    reference: ElabDesign,
+    samples: int = 16,
+    seed: int = 0,
+    max_shown: int = 16,
+) -> SimFeedback:
+    """The feedback message described in §5: error count summary plus the
+    waveform-style expected-vs-actual comparison."""
+    try:
+        cand_trace, ref_trace = simulate_with_traces(
+            candidate, reference, samples=samples, seed=seed
+        )
+    except Exception as exc:  # simulation blow-ups are feedback too
+        return SimFeedback(
+            mismatch_count=samples, samples=samples,
+            text=f"Simulation failed to run: {exc}",
+        )
+
+    mismatches = 0
+    for name in ref_trace.signals:
+        for i in range(ref_trace.length):
+            exp = ref_trace.value_at(name, i)
+            act = cand_trace.value_at(name, i)
+            if exp is None or act is None or not exp.same_as(act):
+                mismatches += 1
+
+    comparison = render_comparison(
+        cand_trace, ref_trace, max_samples=max_shown
+    )
+    text = (
+        f"Simulation produced {mismatches} mismatching output sample(s) "
+        f"out of {ref_trace.length * max(len(ref_trace.signals), 1)}.\n"
+        f"{comparison}"
+    )
+    return SimFeedback(
+        mismatch_count=mismatches,
+        samples=ref_trace.length * max(len(ref_trace.signals), 1),
+        text=text,
+    )

@@ -1,0 +1,240 @@
+"""Verilog operator semantics over :class:`~repro.sim.values.Logic`."""
+
+from __future__ import annotations
+
+from .values import Logic
+
+
+def _arith_width(a: Logic, b: Logic) -> int:
+    return max(a.width, b.width)
+
+
+def _both_signed(a: Logic, b: Logic) -> bool:
+    return a.signed and b.signed
+
+
+def binary(op: str, a: Logic, b: Logic) -> Logic:
+    """Apply a Verilog binary operator."""
+    if op in ("+", "-", "*", "/", "%", "**"):
+        return _arith(op, a, b)
+    if op in ("&", "|", "^", "^~", "~^"):
+        return _bitwise(op, a, b)
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        return _compare(op, a, b)
+    if op in ("===", "!=="):
+        same = a.same_as(b)
+        return Logic(1, int(same if op == "===" else not same))
+    if op in ("&&", "||"):
+        return _logical(op, a, b)
+    if op in ("<<", ">>", "<<<", ">>>"):
+        return _shift(op, a, b)
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def unary(op: str, a: Logic) -> Logic:
+    """Apply a Verilog unary operator."""
+    if op == "+":
+        return a
+    if op == "-":
+        if a.xmask:
+            return Logic.all_x(a.width, a.signed)
+        return Logic.from_int(-a.bits, a.width, a.signed)
+    if op == "~":
+        return Logic(a.width, ~a.bits & ~a.xmask, a.xmask, a.signed)
+    if op == "!":
+        truth = a.is_true()
+        if truth is None:
+            return Logic.all_x(1)
+        return Logic(1, int(not truth))
+    if op in ("&", "~&", "|", "~|", "^", "~^", "^~"):
+        return _reduction(op, a)
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+def _arith(op: str, a: Logic, b: Logic) -> Logic:
+    width = _arith_width(a, b)
+    signed = _both_signed(a, b)
+    if a.xmask or b.xmask:
+        return Logic.all_x(width, signed)
+    if signed:
+        av = a.resize(width).to_signed_int()
+        bv = b.resize(width).to_signed_int()
+    else:  # unsigned context: operands are zero-extended
+        av, bv = a.bits, b.bits
+    if op == "+":
+        result = av + bv
+    elif op == "-":
+        result = av - bv
+    elif op == "*":
+        result = av * bv
+    elif op == "/":
+        if bv == 0:
+            return Logic.all_x(width, signed)
+        result = abs(av) // abs(bv)
+        if (av < 0) != (bv < 0):
+            result = -result
+    elif op == "%":
+        if bv == 0:
+            return Logic.all_x(width, signed)
+        result = abs(av) % abs(bv)
+        if av < 0:
+            result = -result
+    else:  # **
+        if bv < 0:
+            result = 0 if abs(av) != 1 else (1 if av == 1 or bv % 2 == 0 else -1)
+        elif bv > 4096:  # clamp pathological exponents
+            result = 0
+        else:
+            result = av**bv
+    return Logic.from_int(result, width, signed)
+
+
+def _bitwise(op: str, a: Logic, b: Logic) -> Logic:
+    width = _arith_width(a, b)
+    a = a.resize(width)
+    b = b.resize(width)
+    mask = (1 << width) - 1
+    ak, bk = ~a.xmask & mask, ~b.xmask & mask  # known masks
+    if op == "&":
+        # Result known-0 where either side is known-0.
+        zero = (ak & ~a.bits) | (bk & ~b.bits)
+        one = (ak & a.bits) & (bk & b.bits)
+    elif op == "|":
+        one = (ak & a.bits) | (bk & b.bits)
+        zero = (ak & ~a.bits) & (bk & ~b.bits)
+    else:  # xor / xnor: needs both bits known
+        both = ak & bk
+        val = (a.bits ^ b.bits) & both
+        if op in ("^~", "~^"):
+            val = ~val & both
+        one = val
+        zero = both & ~val
+    bits = one & mask
+    xmask = mask & ~(one | zero)
+    return Logic(width, bits, xmask, _both_signed(a, b))
+
+
+def _compare(op: str, a: Logic, b: Logic) -> Logic:
+    signed = _both_signed(a, b)
+    width = _arith_width(a, b)
+    if a.xmask or b.xmask:
+        return Logic.all_x(1)
+    if signed:
+        av = a.resize(width).to_signed_int()
+        bv = b.resize(width).to_signed_int()
+    else:
+        av, bv = a.bits, b.bits
+    result = {
+        "==": av == bv,
+        "!=": av != bv,
+        "<": av < bv,
+        "<=": av <= bv,
+        ">": av > bv,
+        ">=": av >= bv,
+    }[op]
+    return Logic(1, int(result))
+
+
+def _logical(op: str, a: Logic, b: Logic) -> Logic:
+    at, bt = a.is_true(), b.is_true()
+    if op == "&&":
+        if at is False or bt is False:
+            return Logic(1, 0)
+        if at is None or bt is None:
+            return Logic.all_x(1)
+        return Logic(1, 1)
+    if at is True or bt is True:
+        return Logic(1, 1)
+    if at is None or bt is None:
+        return Logic.all_x(1)
+    return Logic(1, 0)
+
+
+def _shift(op: str, a: Logic, b: Logic) -> Logic:
+    if b.xmask:
+        return Logic.all_x(a.width, a.signed)
+    amount = b.to_int()
+    if amount >= a.width + 1 and op != ">>>":
+        amount = min(amount, a.width)
+    if op in ("<<", "<<<"):
+        return Logic(a.width, a.bits << amount, a.xmask << amount, a.signed)
+    if op == ">>" or (op == ">>>" and not a.signed):
+        return Logic(a.width, a.bits >> amount, a.xmask >> amount, a.signed)
+    # Arithmetic right shift on a signed value.
+    amount = min(amount, a.width)
+    msb = a.width - 1
+    bits, xmask = a.bits >> amount, a.xmask >> amount
+    if (a.xmask >> msb) & 1 or (a.bits >> msb) & 1:
+        fill = ((1 << amount) - 1) << (a.width - amount) if amount else 0
+        if (a.xmask >> msb) & 1:
+            xmask |= fill
+            if (a.bits >> msb) & 1:
+                bits |= fill
+        else:
+            bits |= fill
+    return Logic(a.width, bits, xmask, a.signed)
+
+
+def _reduction(op: str, a: Logic) -> Logic:
+    mask = (1 << a.width) - 1
+    known = ~a.xmask & mask
+    ones = a.bits & known
+    zeros = known & ~a.bits
+    if op in ("&", "~&"):
+        if zeros:
+            val: int | None = 0
+        elif a.xmask:
+            val = None
+        else:
+            val = 1
+    elif op in ("|", "~|"):
+        if ones:
+            val = 1
+        elif a.xmask:
+            val = None
+        else:
+            val = 0
+    else:  # xor family
+        if a.xmask:
+            val = None
+        else:
+            val = bin(a.bits).count("1") & 1
+    if val is None:
+        return Logic.all_x(1)
+    if op in ("~&", "~|", "~^", "^~"):
+        val ^= 1
+    return Logic(1, val)
+
+
+def concat(parts: list[Logic]) -> Logic:
+    """Concatenate, first part = most significant."""
+    width = sum(p.width for p in parts)
+    bits = 0
+    xmask = 0
+    for part in parts:
+        bits = (bits << part.width) | part.bits
+        xmask = (xmask << part.width) | part.xmask
+    return Logic(max(width, 1), bits, xmask)
+
+
+def replicate(count: int, value: Logic) -> Logic:
+    """Verilog replication ``{count{value}}``."""
+    if count <= 0:
+        return Logic(1, 0)
+    return concat([value] * count)
+
+
+def ternary(cond: Logic, then: Logic, other: Logic) -> Logic:
+    """Verilog conditional ``cond ? then : other`` with X-merge."""
+    truth = cond.is_true()
+    width = max(then.width, other.width)
+    if truth is True:
+        return then.resize(width)
+    if truth is False:
+        return other.resize(width)
+    # Unknown condition: bitwise-merge (agreeing known bits stay known).
+    t = then.resize(width)
+    o = other.resize(width)
+    mask = (1 << width) - 1
+    agree = ~(t.bits ^ o.bits) & ~t.xmask & ~o.xmask & mask
+    return Logic(width, t.bits & agree, mask & ~agree)

@@ -1,0 +1,116 @@
+"""VCD (Value Change Dump) output for recorded traces.
+
+Any credible Verilog simulator can dump VCD; this writer turns a
+:class:`~repro.sim.trace.Trace` (or a pair of traces for expected-vs-
+actual debugging) into a standard IEEE-1364 VCD file loadable by
+GTKWave and friends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .trace import Trace
+from .values import Logic
+
+_ID_CHARS = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _identifier(index: int) -> str:
+    """Short VCD identifier codes: !, ", ..., then two-char codes."""
+    if index < len(_ID_CHARS):
+        return _ID_CHARS[index]
+    hi, lo = divmod(index, len(_ID_CHARS))
+    return _ID_CHARS[hi - 1] + _ID_CHARS[lo]
+
+
+def _format_value(value: Logic) -> str:
+    """VCD scalar/vector value text (without the identifier)."""
+    if value.width == 1:
+        if value.xmask:
+            return "z" if value.bits else "x"
+        return str(value.bits)
+    chars = []
+    for i in reversed(range(value.width)):
+        if (value.xmask >> i) & 1:
+            chars.append("z" if (value.bits >> i) & 1 else "x")
+        else:
+            chars.append(str((value.bits >> i) & 1))
+    return "b" + "".join(chars) + " "
+
+
+@dataclass
+class VcdSignal:
+    name: str
+    width: int
+    identifier: str
+
+
+class VcdWriter:
+    """Accumulates VCD text for one or more traces."""
+
+    def __init__(self, timescale: str = "1ns", module: str = "top"):
+        self.timescale = timescale
+        self.module = module
+        self._signals: list[VcdSignal] = []
+        self._changes: dict[int, list[str]] = {}
+
+    def add_trace(self, trace: Trace, prefix: str = "") -> None:
+        """Register every signal of ``trace`` and record its changes.
+        ``prefix`` namespaces the signals (e.g. 'expected_')."""
+        for name in trace.signals:
+            values = trace.samples.get(name, [])
+            width = values[0].width if values else 1
+            signal = VcdSignal(
+                name=prefix + name, width=width,
+                identifier=_identifier(len(self._signals)),
+            )
+            self._signals.append(signal)
+            previous: Logic | None = None
+            for step, value in enumerate(values):
+                if previous is not None and value.same_as(previous):
+                    continue
+                previous = value
+                self._changes.setdefault(step, []).append(
+                    f"{_format_value(value)}{signal.identifier}"
+                )
+
+    def render(self) -> str:
+        lines = [
+            "$date repro RTLFixer reproduction $end",
+            "$version repro.sim VCD writer $end",
+            f"$timescale {self.timescale} $end",
+            f"$scope module {self.module} $end",
+        ]
+        for signal in self._signals:
+            kind = "wire"
+            lines.append(
+                f"$var {kind} {signal.width} {signal.identifier} {signal.name} $end"
+            )
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        for step in sorted(self._changes):
+            lines.append(f"#{step}")
+            lines.extend(self._changes[step])
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.render())
+
+
+def dump_vcd(trace: Trace, path: str, module: str = "top") -> None:
+    """Convenience: write one trace as a VCD file."""
+    writer = VcdWriter(module=module)
+    writer.add_trace(trace)
+    writer.save(path)
+
+
+def dump_comparison_vcd(
+    actual: Trace, expected: Trace, path: str, module: str = "diff"
+) -> None:
+    """Expected and actual traces side by side for waveform debugging."""
+    writer = VcdWriter(module=module)
+    writer.add_trace(expected, prefix="expected_")
+    writer.add_trace(actual, prefix="actual_")
+    writer.save(path)

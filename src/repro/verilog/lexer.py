@@ -1,0 +1,202 @@
+"""Hand-written lexer for the supported Verilog subset.
+
+The lexer is error-tolerant: malformed constructs produce a
+:class:`~repro.diagnostics.diagnostic.Diagnostic` in the supplied sink
+and a best-effort replacement token, so that parsing (and therefore
+diagnosis of *further* errors) can continue -- mirroring how real
+compilers report several errors per run.
+"""
+
+from __future__ import annotations
+
+from ..diagnostics.codes import ErrorCategory
+from ..diagnostics.diagnostic import Diagnostic
+from .source import SourceFile, Span
+from .tokens import KEYWORDS, MULTI_PUNCT, SINGLE_PUNCT, Token, TokenKind
+
+_BASE_DIGITS = {
+    "b": "01xz?",
+    "o": "01234567xz?",
+    "d": "0123456789",
+    "h": "0123456789abcdef" + "xz?",
+}
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789$")
+_DIGITS = set("0123456789")
+
+
+class Lexer:
+    """Tokenizes one :class:`SourceFile`, reporting problems to ``sink``."""
+
+    def __init__(self, source: SourceFile, sink: list[Diagnostic]):
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+        self.sink = sink
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # -- internals ---------------------------------------------------
+
+    def _span(self, start: int, end: int | None = None) -> Span:
+        return Span(self.source, start, self.pos if end is None else end)
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif ch == "/" and self._peek(1) == "/":
+                nl = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if nl == -1 else nl
+            elif ch == "/" and self._peek(1) == "*":
+                close = self.text.find("*/", self.pos + 2)
+                self.pos = len(self.text) if close == -1 else close + 2
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        start = self.pos
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", self._span(start))
+        ch = self.text[self.pos]
+
+        if ch in _IDENT_START:
+            return self._lex_ident(start)
+        if ch in _DIGITS:
+            return self._lex_number(start)
+        if ch == "'":
+            return self._lex_based_literal(start, size_digits="")
+        if ch == '"':
+            return self._lex_string(start)
+        if ch == "$":
+            return self._lex_system_ident(start)
+        if ch == "\\":
+            return self._lex_escaped_ident(start)
+        return self._lex_punct(start)
+
+    def _lex_ident(self, start: int) -> Token:
+        while self._peek() in _IDENT_CONT:
+            self.pos += 1
+        value = self.text[start : self.pos]
+        kind = TokenKind.KEYWORD if value in KEYWORDS else TokenKind.IDENT
+        return Token(kind, value, self._span(start))
+
+    def _lex_escaped_ident(self, start: int) -> Token:
+        self.pos += 1  # backslash
+        while self._peek() not in ("", " ", "\t", "\r", "\n"):
+            self.pos += 1
+        value = self.text[start + 1 : self.pos]
+        if not value:
+            self.sink.append(
+                Diagnostic(ErrorCategory.SYNTAX_NEAR, self._span(start), {"near": "\\"})
+            )
+            value = "_"
+        return Token(TokenKind.IDENT, value, self._span(start))
+
+    def _lex_system_ident(self, start: int) -> Token:
+        self.pos += 1  # $
+        while self._peek() in _IDENT_CONT:
+            self.pos += 1
+        value = self.text[start : self.pos]
+        if value == "$":
+            self.sink.append(
+                Diagnostic(ErrorCategory.SYNTAX_NEAR, self._span(start), {"near": "$"})
+            )
+        return Token(TokenKind.SYSTEM_IDENT, value, self._span(start))
+
+    def _lex_string(self, start: int) -> Token:
+        self.pos += 1
+        while self._peek() not in ("", '"', "\n"):
+            if self._peek() == "\\":
+                self.pos += 1
+            self.pos += 1
+        if self._peek() == '"':
+            self.pos += 1
+        else:
+            self.sink.append(
+                Diagnostic(
+                    ErrorCategory.SYNTAX_NEAR,
+                    self._span(start),
+                    {"near": "unterminated string"},
+                )
+            )
+        return Token(TokenKind.STRING, self.text[start : self.pos], self._span(start))
+
+    def _lex_number(self, start: int) -> Token:
+        while self._peek() in _DIGITS or self._peek() == "_":
+            self.pos += 1
+        if self._peek() == "'":
+            return self._lex_based_literal(start, size_digits=self.text[start : self.pos])
+        if self._peek() == "." and self._peek(1) in _DIGITS:
+            self.pos += 1
+            while self._peek() in _DIGITS or self._peek() == "_":
+                self.pos += 1
+            return Token(TokenKind.REAL, self.text[start : self.pos], self._span(start))
+        return Token(TokenKind.NUMBER, self.text[start : self.pos], self._span(start))
+
+    def _lex_based_literal(self, start: int, size_digits: str) -> Token:
+        self.pos += 1  # the apostrophe
+        signed = False
+        if self._peek() in ("s", "S"):
+            signed = True
+            self.pos += 1
+        base_ch = self._peek().lower()
+        if base_ch not in _BASE_DIGITS:
+            self.sink.append(
+                Diagnostic(
+                    ErrorCategory.BAD_LITERAL,
+                    self._span(start),
+                    {"literal": self.text[start : self.pos + 1]},
+                )
+            )
+            return Token(TokenKind.NUMBER, "0", self._span(start))
+        self.pos += 1
+        digit_start = self.pos
+        while self._peek().lower() in "0123456789abcdefxz?_" and self._peek() != "":
+            self.pos += 1
+        digits = self.text[digit_start : self.pos].lower().replace("_", "")
+        valid = _BASE_DIGITS[base_ch]
+        literal = self.text[start : self.pos]
+        if not digits or any(d not in valid for d in digits):
+            self.sink.append(
+                Diagnostic(
+                    ErrorCategory.BAD_LITERAL, self._span(start), {"literal": literal}
+                )
+            )
+            return Token(TokenKind.NUMBER, "0", self._span(start))
+        del signed  # recorded in the literal text; value parsing happens later
+        return Token(TokenKind.NUMBER, literal, self._span(start))
+
+    def _lex_punct(self, start: int) -> Token:
+        for op in MULTI_PUNCT:
+            if self.text.startswith(op, self.pos):
+                self.pos += len(op)
+                return Token(TokenKind.PUNCT, op, self._span(start))
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch not in SINGLE_PUNCT:
+            self.sink.append(
+                Diagnostic(ErrorCategory.SYNTAX_NEAR, self._span(start), {"near": ch})
+            )
+            # Substitute a harmless token so parsing continues.
+            return Token(TokenKind.PUNCT, ";", self._span(start))
+        return Token(TokenKind.PUNCT, ch, self._span(start))
+
+
+def tokenize(source: SourceFile, sink: list[Diagnostic] | None = None) -> list[Token]:
+    """Convenience wrapper: tokenize ``source``, optionally collecting
+    diagnostics into ``sink`` (discarded when not provided)."""
+    return Lexer(source, sink if sink is not None else []).tokenize()

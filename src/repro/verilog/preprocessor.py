@@ -1,0 +1,189 @@
+r"""Minimal Verilog preprocessor.
+
+Supports the directives that actually occur in VerilogEval-style code:
+
+* ``\`timescale`` -- recorded and stripped (a *misplaced* timescale, i.e.
+  one appearing after the first ``module`` keyword, is what the paper's
+  rule-based pre-fixer repairs, so we keep track of where it appeared);
+* ``\`define NAME value`` / ``\`NAME`` expansion (object-like macros);
+* ``\`include`` -- resolved against an in-memory file map;
+* ``\`ifdef / \`ifndef / \`else / \`endif`` conditional blocks;
+* ``\`default_nettype`` -- recorded.
+
+Directive lines are blanked in place (newlines preserved) so that token
+spans and line numbers in diagnostics still match the original source.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..diagnostics.codes import ErrorCategory
+from ..diagnostics.diagnostic import Diagnostic
+from .source import SourceFile, Span
+
+_DIRECTIVE_RE = re.compile(r"`([A-Za-z_][A-Za-z0-9_$]*)")
+
+
+@dataclass
+class PreprocessResult:
+    """Output of :func:`preprocess`."""
+
+    source: SourceFile
+    defines: dict[str, str] = field(default_factory=dict)
+    timescale: str | None = None
+    #: 1-based line numbers of every `timescale directive found.
+    timescale_lines: list[int] = field(default_factory=list)
+    default_nettype: str | None = None
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+
+def preprocess(
+    source: SourceFile,
+    include_files: dict[str, str] | None = None,
+    defines: dict[str, str] | None = None,
+) -> PreprocessResult:
+    """Expand directives in ``source``.
+
+    ``include_files`` maps include names to their text (the environment
+    has no real filesystem layout for DUTs).  Unknown macros produce an
+    ``UNDECLARED_ID`` diagnostic, matching how compilers report undefined
+    macros as unknown identifiers.
+    """
+    include_files = include_files or {}
+    macros: dict[str, str] = dict(defines or {})
+    result = PreprocessResult(source=source, defines=macros)
+
+    lines = source.text.split("\n")
+    out_lines: list[str] = []
+    # Stack of booleans: is the current `ifdef branch active?
+    cond_stack: list[bool] = []
+
+    def active() -> bool:
+        return all(cond_stack)
+
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.lstrip()
+        if stripped.startswith("`"):
+            out_lines.append(_handle_directive(
+                line, stripped, lineno, macros, include_files, cond_stack,
+                active, result, source,
+            ))
+            continue
+        if not active():
+            out_lines.append("")
+            continue
+        out_lines.append(_expand_macros(line, lineno, macros, result, source))
+
+    if cond_stack:
+        result.diagnostics.append(
+            Diagnostic(
+                ErrorCategory.UNBALANCED_BLOCK,
+                _line_span(source, len(lines)),
+                {"expected": "`endif"},
+            )
+        )
+
+    result.source = SourceFile(source.name, "\n".join(out_lines))
+    return result
+
+
+def _handle_directive(
+    line: str,
+    stripped: str,
+    lineno: int,
+    macros: dict[str, str],
+    include_files: dict[str, str],
+    cond_stack: list[bool],
+    active,
+    result: PreprocessResult,
+    source: SourceFile,
+) -> str:
+    match = _DIRECTIVE_RE.match(stripped)
+    if match is None:
+        result.diagnostics.append(
+            Diagnostic(ErrorCategory.SYNTAX_NEAR, _line_span(source, lineno), {"near": "`"})
+        )
+        return ""
+    name = match.group(1)
+    rest = stripped[match.end() :].strip()
+
+    if name == "ifdef":
+        cond_stack.append(rest.split()[0] in macros if rest else False)
+    elif name == "ifndef":
+        cond_stack.append(rest.split()[0] not in macros if rest else True)
+    elif name == "else":
+        if cond_stack:
+            cond_stack[-1] = not cond_stack[-1]
+    elif name == "endif":
+        if cond_stack:
+            cond_stack.pop()
+    elif not active():
+        pass  # other directives in inactive branches are skipped
+    elif name == "timescale":
+        result.timescale = rest
+        result.timescale_lines.append(lineno)
+    elif name == "default_nettype":
+        result.default_nettype = rest
+    elif name == "define":
+        parts = rest.split(None, 1)
+        if parts:
+            macros[parts[0]] = parts[1] if len(parts) > 1 else "1"
+    elif name == "undef":
+        macros.pop(rest.split()[0] if rest else "", None)
+    elif name == "include":
+        fname = rest.strip('"<>')
+        if fname in include_files:
+            return include_files[fname].replace("\n", " ")
+        result.diagnostics.append(
+            Diagnostic(
+                ErrorCategory.UNDECLARED_ID,
+                _line_span(source, lineno),
+                {"name": fname, "what": "include file"},
+            )
+        )
+    elif name in macros:
+        # Object-like macro used at the start of a line.
+        return _expand_macros(line, lineno, macros, result, source)
+    else:
+        result.diagnostics.append(
+            Diagnostic(
+                ErrorCategory.UNDECLARED_ID,
+                _line_span(source, lineno),
+                {"name": name, "what": "macro"},
+            )
+        )
+    return ""
+
+
+def _expand_macros(
+    line: str,
+    lineno: int,
+    macros: dict[str, str],
+    result: PreprocessResult,
+    source: SourceFile,
+) -> str:
+    if "`" not in line:
+        return line
+
+    def repl(match: re.Match[str]) -> str:
+        name = match.group(1)
+        if name in macros:
+            return macros[name]
+        result.diagnostics.append(
+            Diagnostic(
+                ErrorCategory.UNDECLARED_ID,
+                _line_span(source, lineno),
+                {"name": name, "what": "macro"},
+            )
+        )
+        return "0"
+
+    return _DIRECTIVE_RE.sub(repl, line)
+
+
+def _line_span(source: SourceFile, lineno: int) -> Span:
+    lineno = max(1, min(lineno, source.num_lines))
+    start = sum(len(source.line_text(i)) + 1 for i in range(1, lineno))
+    return Span(source, start, start + max(1, len(source.line_text(lineno))))

@@ -1,0 +1,83 @@
+"""Symbol table for elaboration and simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .source import Span
+
+
+@dataclass
+class Symbol:
+    """A declared name inside a module (net, variable, parameter, ...)."""
+
+    name: str
+    kind: str  # wire | reg | logic | integer | int | genvar | real | parameter | function
+    span: Span
+    msb: Optional[int] = None
+    lsb: Optional[int] = None
+    signed: bool = False
+    direction: Optional[str] = None  # input | output | inout for ports
+    #: Unpacked array bounds (lo, hi) for memories, else None.
+    array: Optional[tuple[int, int]] = None
+    #: Constant value for parameters/localparams.
+    value: Optional[int] = None
+
+    @property
+    def is_port(self) -> bool:
+        return self.direction is not None
+
+    @property
+    def is_vector(self) -> bool:
+        return self.msb is not None
+
+    @property
+    def width(self) -> int:
+        if self.msb is not None and self.lsb is not None:
+            return abs(self.msb - self.lsb) + 1
+        if self.kind in ("integer", "int", "genvar", "parameter"):
+            return 32
+        return 1
+
+    @property
+    def is_variable(self) -> bool:
+        """True for types assignable in procedural blocks."""
+        return self.kind in ("reg", "logic", "integer", "int", "genvar", "real")
+
+    def range_str(self) -> str:
+        if self.msb is None:
+            return ""
+        return f"[{self.msb}:{self.lsb}]"
+
+    def index_in_range(self, index: int) -> bool:
+        if self.msb is None or self.lsb is None:
+            return index == 0
+        lo, hi = sorted((self.msb, self.lsb))
+        return lo <= index <= hi
+
+
+@dataclass
+class Scope:
+    """A lexical scope; functions and named blocks nest inside a module."""
+
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+    parent: Optional["Scope"] = None
+
+    def declare(self, symbol: Symbol) -> bool:
+        """Add a symbol; returns False if the name already exists locally."""
+        if symbol.name in self.symbols:
+            return False
+        self.symbols[symbol.name] = symbol
+        return True
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+    def child(self) -> "Scope":
+        return Scope(parent=self)

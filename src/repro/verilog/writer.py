@@ -1,0 +1,282 @@
+"""AST pretty-printer: turn parsed designs back into Verilog source.
+
+Completes the front-end round trip (parse → transform → emit) used by
+tooling that prefers AST-level edits over textual ones.  The output is
+normalized (canonical spacing/indentation), so ``parse ∘ write`` is
+idempotent: writing a freshly re-parsed output reproduces it exactly.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+_INDENT = "  "
+
+#: Parenthesization precedence (mirror of the parser's table).
+_PREC = {
+    "||": 1, "&&": 2, "|": 3,
+    "^": 4, "^~": 4, "~^": 4,
+    "&": 5,
+    "==": 6, "!=": 6, "===": 6, "!==": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8, "<<<": 8, ">>>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+    "**": 11,
+}
+_TERNARY_PREC = 0
+_UNARY_PREC = 12
+
+
+def write_expr(expr: ast.Expr, parent_prec: int = -1) -> str:
+    """Render an expression, parenthesizing by precedence."""
+    text, prec = _expr(expr)
+    if prec < parent_prec or (prec == parent_prec and prec in (_TERNARY_PREC,)):
+        return f"({text})"
+    return text
+
+
+def _expr(expr: ast.Expr) -> tuple[str, int]:
+    if isinstance(expr, ast.Number):
+        return _number(expr), 100
+    if isinstance(expr, ast.StringLit):
+        return f'"{expr.value}"', 100
+    if isinstance(expr, ast.Identifier):
+        return expr.name, 100
+    if isinstance(expr, ast.Select):
+        return f"{write_expr(expr.base, 100)}[{write_expr(expr.index)}]", 100
+    if isinstance(expr, ast.RangeSelect):
+        return (
+            f"{write_expr(expr.base, 100)}"
+            f"[{write_expr(expr.msb)}:{write_expr(expr.lsb)}]",
+            100,
+        )
+    if isinstance(expr, ast.IndexedSelect):
+        op = "+:" if expr.ascending else "-:"
+        return (
+            f"{write_expr(expr.base, 100)}"
+            f"[{write_expr(expr.start)} {op} {write_expr(expr.width)}]",
+            100,
+        )
+    if isinstance(expr, ast.Concat):
+        return "{" + ", ".join(write_expr(p) for p in expr.parts) + "}", 100
+    if isinstance(expr, ast.Replicate):
+        inner = ", ".join(write_expr(p) for p in expr.value.parts)
+        return f"{{{write_expr(expr.count, 100)}{{{inner}}}}}", 100
+    if isinstance(expr, ast.Unary):
+        operand = write_expr(expr.operand, _UNARY_PREC)
+        # Keep adjacent operator characters from fusing into a different
+        # token: '-(-x)' must not become '--x', '&(&x)' not '&&x'.
+        sep = " " if operand and operand[0] in "+-&|^~!<>=" else ""
+        return f"{expr.op}{sep}{operand}", _UNARY_PREC
+    if isinstance(expr, ast.Binary):
+        prec = _PREC.get(expr.op, 1)
+        lhs = write_expr(expr.lhs, prec)
+        # Right operand needs strictly higher precedence for left-assoc
+        # operators ('**' is right-assoc).
+        rhs_prec = prec if expr.op == "**" else prec + 1
+        rhs = write_expr(expr.rhs, rhs_prec)
+        return f"{lhs} {expr.op} {rhs}", prec
+    if isinstance(expr, ast.Ternary):
+        return (
+            f"{write_expr(expr.cond, _TERNARY_PREC + 1)} ? "
+            f"{write_expr(expr.then, _TERNARY_PREC)} : "
+            f"{write_expr(expr.other, _TERNARY_PREC)}",
+            _TERNARY_PREC,
+        )
+    if isinstance(expr, (ast.FuncCall, ast.SystemCall)):
+        args = ", ".join(write_expr(a) for a in expr.args)
+        return f"{expr.name}({args})", 100
+    raise TypeError(f"cannot write expression {type(expr).__name__}")
+
+
+def _number(number: ast.Number) -> str:
+    if number.width is None:
+        return str(number.bits)
+    if number.xmask == 0:
+        if number.width <= 4 or number.bits < 10:
+            return f"{number.width}'d{number.bits}"
+        ndigits = (number.width + 3) // 4
+        return f"{number.width}'h{number.bits:0{ndigits}x}"
+    chars = []
+    for i in reversed(range(number.width)):
+        if (number.xmask >> i) & 1:
+            chars.append("z" if (number.bits >> i) & 1 else "x")
+        else:
+            chars.append(str((number.bits >> i) & 1))
+    return f"{number.width}'b{''.join(chars)}"
+
+
+def _range(rng: ast.Range | None) -> str:
+    if rng is None:
+        return ""
+    return f"[{write_expr(rng.msb)}:{write_expr(rng.lsb)}] "
+
+
+def write_stmt(stmt: ast.Stmt, depth: int = 1) -> str:
+    """Render a statement at the given indent depth."""
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.NullStmt):
+        return f"{pad};"
+    if isinstance(stmt, ast.Block):
+        label = f" : {stmt.name}" if stmt.name else ""
+        lines = [f"{pad}begin{label}"]
+        for decl in stmt.decls:
+            lines.append(f"{pad}{_INDENT}{_net_decl_text(decl)}")
+        for child in stmt.stmts:
+            lines.append(write_stmt(child, depth + 1))
+        lines.append(f"{pad}end")
+        return "\n".join(lines)
+    if isinstance(stmt, ast.ProcAssign):
+        op = "=" if stmt.blocking else "<="
+        return f"{pad}{write_expr(stmt.lvalue)} {op} {write_expr(stmt.rhs)};"
+    if isinstance(stmt, ast.If):
+        out = [f"{pad}if ({write_expr(stmt.cond)})", write_stmt(stmt.then, depth + 1)]
+        if stmt.other is not None:
+            out.append(f"{pad}else")
+            out.append(write_stmt(stmt.other, depth + 1))
+        return "\n".join(out)
+    if isinstance(stmt, ast.Case):
+        lines = [f"{pad}{stmt.kind} ({write_expr(stmt.subject)})"]
+        for item in stmt.items:
+            labels = (
+                ", ".join(write_expr(l) for l in item.labels)
+                if item.labels
+                else "default"
+            )
+            lines.append(f"{pad}{_INDENT}{labels}:")
+            lines.append(write_stmt(item.body, depth + 2))
+        lines.append(f"{pad}endcase")
+        return "\n".join(lines)
+    if isinstance(stmt, ast.For):
+        init = _inline_assign(stmt.init)
+        if stmt.inline_decl is not None:
+            init = f"int {init}"
+        cond = write_expr(stmt.cond) if stmt.cond is not None else ""
+        step = _inline_assign(stmt.step)
+        return "\n".join([
+            f"{pad}for ({init}; {cond}; {step})",
+            write_stmt(stmt.body, depth + 1),
+        ])
+    if isinstance(stmt, ast.While):
+        return "\n".join([
+            f"{pad}while ({write_expr(stmt.cond)})",
+            write_stmt(stmt.body, depth + 1),
+        ])
+    if isinstance(stmt, ast.Repeat):
+        return "\n".join([
+            f"{pad}repeat ({write_expr(stmt.count)})",
+            write_stmt(stmt.body, depth + 1),
+        ])
+    if isinstance(stmt, ast.TaskCall):
+        args = ", ".join(write_expr(a) for a in stmt.args)
+        return f"{pad}{stmt.name}({args});" if stmt.args else f"{pad}{stmt.name};"
+    raise TypeError(f"cannot write statement {type(stmt).__name__}")
+
+
+def _inline_assign(assign: ast.ProcAssign | None) -> str:
+    if assign is None:
+        return ""
+    return f"{write_expr(assign.lvalue)} = {write_expr(assign.rhs)}"
+
+
+def _net_decl_text(decl: ast.NetDecl) -> str:
+    signed = "signed " if decl.signed else ""
+    array = ""
+    if decl.array_range is not None:
+        array = f" [{write_expr(decl.array_range.msb)}:{write_expr(decl.array_range.lsb)}]"
+    init = f" = {write_expr(decl.init)}" if decl.init is not None else ""
+    return f"{decl.net_kind} {signed}{_range(decl.range)}{decl.name}{array}{init};"
+
+
+def _sensitivity(sens: ast.SensList | None) -> str:
+    if sens is None:
+        return ""
+    if sens.star:
+        return " @(*)"
+    items = []
+    for item in sens.items:
+        edge = f"{item.edge} " if item.edge else ""
+        items.append(f"{edge}{write_expr(item.expr)}")
+    return f" @({' or '.join(items)})"
+
+
+def write_module_item(item: ast.ModuleItem, depth: int = 0) -> str:
+    """Render one module item (decl, assign, always, ...)."""
+    pad = _INDENT * depth
+    if isinstance(item, ast.NetDecl):
+        return f"{pad}{_net_decl_text(item)}"
+    if isinstance(item, ast.ParamDecl):
+        keyword = "localparam" if item.local else "parameter"
+        return f"{pad}{keyword} {_range(item.range)}{item.name} = {write_expr(item.value)};"
+    if isinstance(item, ast.ContinuousAssign):
+        return f"{pad}assign {write_expr(item.lvalue)} = {write_expr(item.rhs)};"
+    if isinstance(item, ast.AlwaysBlock):
+        return (
+            f"{pad}{item.kind}{_sensitivity(item.sensitivity)}\n"
+            + write_stmt(item.body, depth + 1)
+        )
+    if isinstance(item, ast.InitialBlock):
+        return f"{pad}initial\n" + write_stmt(item.body, depth + 1)
+    if isinstance(item, ast.FunctionDecl):
+        signed = "signed " if item.signed else ""
+        ports = ", ".join(
+            f"input {_range(p.range)}{p.name}" for p in item.inputs
+        )
+        lines = [f"{pad}function {signed}{_range(item.range)}{item.name}({ports});"]
+        for decl in item.decls:
+            lines.append(f"{pad}{_INDENT}{_net_decl_text(decl)}")
+        lines.append(write_stmt(item.body, depth + 1))
+        lines.append(f"{pad}endfunction")
+        return "\n".join(lines)
+    if isinstance(item, ast.Instantiation):
+        params = ""
+        if item.param_overrides:
+            inner = ", ".join(
+                f".{c.name}({write_expr(c.expr)})" for c in item.param_overrides
+            )
+            params = f" #({inner})"
+        conns = ", ".join(
+            (f".{c.name}({write_expr(c.expr) if c.expr is not None else ''})"
+             if c.name is not None else write_expr(c.expr))
+            for c in item.connections
+        )
+        return f"{pad}{item.module_name}{params} {item.instance_name} ({conns});"
+    if isinstance(item, ast.GenerateFor):
+        label = f" : {item.label}" if item.label else ""
+        lines = [
+            f"{pad}generate",
+            f"{pad}for ({item.genvar} = {write_expr(item.init)}; "
+            f"{write_expr(item.cond)}; {item.genvar} = {write_expr(item.step)}) "
+            f"begin{label}",
+        ]
+        for sub in item.items:
+            lines.append(write_module_item(sub, depth + 1))
+        lines.append(f"{pad}end")
+        lines.append(f"{pad}endgenerate")
+        return "\n".join(lines)
+    raise TypeError(f"cannot write module item {type(item).__name__}")
+
+
+def write_module(module: ast.Module) -> str:
+    """Render a full module declaration."""
+    from .parser import expand_siblings
+
+    ports = []
+    for port in module.ports:
+        kind = f" {port.net_kind}" if port.explicit_kind else ""
+        signed = " signed" if port.signed else ""
+        rng = f" {_range(port.range).strip()}" if port.range else ""
+        ports.append(f"{_INDENT}{port.direction}{kind}{signed}{rng} {port.name}")
+    header = f"module {module.name} (\n" + ",\n".join(ports) + "\n);"
+    body = [
+        write_module_item(item)
+        for item in expand_siblings(module.items)
+        if not isinstance(item, ast.PortDecl)
+    ]
+    return "\n".join([header, *body, "endmodule"]) + "\n"
+
+
+def write_design(design: ast.Design) -> str:
+    """Render every module of a design."""
+    return "\n".join(write_module(m) for m in design.modules.values())

@@ -1,0 +1,77 @@
+"""Tests for the rtlfixer command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD = "module m(input a, output y);\nassign y = a;\nendmodule\n"
+BROKEN = (
+    "module top_module(input [7:0] in, output reg [7:0] out);\n"
+    "always @(posedge clk) out <= in;\nendmodule\n"
+)
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.v"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.v"
+    path.write_text(BROKEN)
+    return str(path)
+
+
+class TestCompileCommand:
+    def test_ok_file(self, good_file, capsys):
+        assert main(["compile", good_file]) == 0
+        assert "compile OK" in capsys.readouterr().out
+
+    def test_broken_file(self, broken_file, capsys):
+        assert main(["compile", broken_file]) == 1
+        assert "clk" in capsys.readouterr().out
+
+    def test_quartus_flavor(self, broken_file, capsys):
+        assert main(["compile", broken_file, "--compiler", "quartus"]) == 1
+        assert "Error (10161)" in capsys.readouterr().out
+
+
+class TestFixCommand:
+    def test_fixes_broken_file(self, broken_file, capsys):
+        code = main(["fix", broken_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fixed in" in out
+        assert "endmodule" in out
+
+    def test_transcript_flag(self, broken_file, capsys):
+        main(["fix", broken_file, "--transcript"])
+        out = capsys.readouterr().out
+        assert "Thought 1:" in out
+
+    def test_oneshot_mode(self, good_file):
+        assert main(["fix", good_file, "--prompting", "oneshot", "--no-rag"]) == 0
+
+
+class TestDatasetCommand:
+    def test_builds_and_saves(self, tmp_path, capsys):
+        out_path = str(tmp_path / "ds.json")
+        assert main(["dataset", out_path, "--samples", "4", "--size", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 20 entries" in out
+        from repro.dataset import SyntaxDataset
+
+        assert len(SyntaxDataset.load(out_path)) == 20
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_flavor_rejected(self, good_file):
+        with pytest.raises(SystemExit):
+            main(["compile", good_file, "--compiler", "vcs"])

@@ -1,0 +1,58 @@
+"""Tests for $display/$write capture in the simulator."""
+
+from repro.diagnostics import compile_source
+from repro.sim import Simulator
+
+
+def build(code: str) -> Simulator:
+    result = compile_source(code)
+    assert result.ok, result.log
+    return Simulator(result.elaborated)
+
+
+class TestDisplayCapture:
+    def test_initial_display_with_format(self):
+        sim = build(
+            'module m;\ninitial $display("value=%d hex=%h bin=%b", 10, 10, 2);\nendmodule'
+        )
+        assert sim.display_log == ["value=10 hex=a bin=10"]
+
+    def test_display_without_format_string(self):
+        sim = build("module m;\ninitial $display(42);\nendmodule")
+        assert sim.display_log == ["42"]
+
+    def test_percent_escape(self):
+        sim = build('module m;\ninitial $display("100%%");\nendmodule')
+        assert sim.display_log == ["100%"]
+
+    def test_display_signal_values(self):
+        sim = build(
+            "module m(input clk, output reg [3:0] q);\n"
+            "initial q = 4'd5;\n"
+            'always @(posedge clk) begin\n  q <= q + 1;\n  $display("q=%d", q);\nend\n'
+            "endmodule"
+        )
+        sim.step({"clk": 0})
+        sim.step({"clk": 1})
+        assert sim.display_log == ["q=5"]
+
+    def test_x_values_render_as_x(self):
+        sim = build(
+            "module m;\nreg [3:0] u;\ninitial $display(\"%d\", u);\nendmodule"
+        )
+        assert sim.display_log == ["x"]
+
+    def test_excess_specifiers_left_verbatim(self):
+        sim = build('module m;\ninitial $display("a=%d b=%d", 1);\nendmodule')
+        assert sim.display_log == ["a=1 b=%d"]
+
+    def test_monitor_like_tasks_ignored(self):
+        sim = build("module m;\ninitial $finish;\nendmodule")
+        assert sim.display_log == []
+
+    def test_signed_rendering(self):
+        sim = build(
+            "module m;\nreg signed [7:0] s;\n"
+            'initial begin\n  s = -2;\n  $display("%d", s);\nend\nendmodule'
+        )
+        assert sim.display_log == ["-2"]

@@ -1,0 +1,247 @@
+"""Unit tests for semantic elaboration and its checks."""
+
+from repro.diagnostics import ErrorCategory, compile_source
+
+
+def cats(code: str) -> list[ErrorCategory]:
+    return [d.category for d in compile_source(code).errors]
+
+
+def compile_ok(code: str):
+    result = compile_source(code)
+    assert result.ok, result.log
+    return result
+
+
+class TestSymbolResolution:
+    def test_clean_module_has_no_errors(self):
+        compile_ok(
+            "module top_module(input [7:0] in, output [7:0] out);\n"
+            "assign out = in;\nendmodule"
+        )
+
+    def test_undeclared_in_rhs(self):
+        assert cats(
+            "module m(output y);\nassign y = nothere;\nendmodule"
+        ) == [ErrorCategory.UNDECLARED_ID]
+
+    def test_undeclared_lvalue(self):
+        assert ErrorCategory.UNDECLARED_ID in cats(
+            "module m(input a);\nassign ghost = a;\nendmodule"
+        )
+
+    def test_undeclared_clk_in_sensitivity(self):
+        # Fig. 5 of the paper: posedge of an undeclared clock.
+        result = compile_source(
+            "module top_module(input [99:0] in, output reg [99:0] out);\n"
+            "always @(posedge clk) out <= in;\nendmodule"
+        )
+        assert not result.ok
+        assert result.errors[0].category is ErrorCategory.UNDECLARED_ID
+        assert result.errors[0].args["name"] == "clk"
+
+    def test_parameter_usable_in_range(self):
+        compile_ok(
+            "module m #(parameter W = 8)(input [W-1:0] d, output [W-1:0] q);\n"
+            "assign q = d;\nendmodule"
+        )
+
+    def test_localparam_in_expression(self):
+        compile_ok(
+            "module m(output [7:0] y);\nlocalparam V = 42;\n"
+            "assign y = V;\nendmodule"
+        )
+
+    def test_function_locals_scoped(self):
+        compile_ok(
+            "module m(input [7:0] a, output [7:0] y);\n"
+            "function [7:0] inc(input [7:0] x);\n"
+            "  integer t;\n"
+            "  begin t = x; inc = t + 1; end\n"
+            "endfunction\n"
+            "assign y = inc(a);\nendmodule"
+        )
+
+    def test_genvar_loop_expansion(self):
+        compile_ok(
+            "module m(input [3:0] a, output [3:0] y);\n"
+            "genvar g;\n"
+            "generate for (g = 0; g < 4; g = g + 1) begin : blk\n"
+            "  assign y[g] = ~a[g];\n"
+            "end endgenerate\nendmodule"
+        )
+
+    def test_generate_index_out_of_range_caught(self):
+        assert ErrorCategory.INDEX_RANGE in cats(
+            "module m(input [3:0] a, output [3:0] y);\n"
+            "genvar g;\n"
+            "generate for (g = 0; g < 5; g = g + 1) begin : blk\n"
+            "  assign y[g] = ~a[g];\n"
+            "end endgenerate\nendmodule"
+        )
+
+
+class TestIndexRange:
+    def test_constant_index_out_of_range(self):
+        # Fig. 2a of the paper: out[8] on an 8-bit vector.
+        result = compile_source(
+            "module top_module(input [7:0] in, output [7:0] out);\n"
+            "assign {out[0],out[1],out[2],out[3],out[4],out[5],out[6],out[8]} = in;\n"
+            "endmodule"
+        )
+        assert [d.category for d in result.errors] == [ErrorCategory.INDEX_RANGE]
+        assert result.errors[0].args["index"] == 8
+
+    def test_part_select_out_of_range(self):
+        assert ErrorCategory.INDEX_RANGE in cats(
+            "module m(input [7:0] a, output [7:0] y);\nassign y = a[9:2];\nendmodule"
+        )
+
+    def test_in_range_constant_ok(self):
+        compile_ok(
+            "module m(input [7:0] a, output y);\nassign y = a[7];\nendmodule"
+        )
+
+    def test_dynamic_index_not_flagged(self):
+        compile_ok(
+            "module m(input [7:0] a, input [2:0] s, output y);\n"
+            "assign y = a[s];\nendmodule"
+        )
+
+    def test_unrolled_for_loop_negative_index(self):
+        # Fig. 6 of the paper: the loop's first iteration indexes q[-17].
+        result = compile_source(
+            "module m(input [255:0] q, output reg [255:0] next);\n"
+            "integer i, j;\n"
+            "always @(*) begin\n"
+            "  for (i = 0; i < 16; i = i + 1)\n"
+            "    for (j = 0; j < 16; j = j + 1)\n"
+            "      next[i*16 + j] = q[(i-1)*16 + (j-1)];\n"
+            "end\nendmodule"
+        )
+        assert any(
+            d.category is ErrorCategory.INDEX_RANGE and d.args["index"] == -17
+            for d in result.errors
+        )
+
+    def test_unrolled_for_loop_in_range_ok(self):
+        compile_ok(
+            "module m(input [7:0] a, output reg [7:0] y);\n"
+            "integer i;\n"
+            "always @(*) for (i = 0; i < 8; i = i + 1) y[i] = a[7 - i];\n"
+            "endmodule"
+        )
+
+    def test_memory_word_index_checked(self):
+        assert ErrorCategory.INDEX_RANGE in cats(
+            "module m(output reg [7:0] y);\n"
+            "reg [7:0] mem [0:15];\n"
+            "always @(*) y = mem[16];\nendmodule"
+        )
+
+
+class TestLValues:
+    def test_procedural_assign_to_wire(self):
+        result = compile_source(
+            "module m(input a, output out);\n"
+            "always @(*) out = a;\nendmodule"
+        )
+        assert [d.category for d in result.errors] == [ErrorCategory.INVALID_LVALUE]
+        assert result.errors[0].args["name"] == "out"
+
+    def test_procedural_assign_to_reg_ok(self):
+        compile_ok(
+            "module m(input a, output reg out);\nalways @(*) out = a;\nendmodule"
+        )
+
+    def test_assign_to_input(self):
+        assert ErrorCategory.INVALID_LVALUE in cats(
+            "module m(input a, input b, output y);\n"
+            "assign a = b;\nassign y = a;\nendmodule"
+        )
+
+    def test_continuous_assign_to_reg(self):
+        assert ErrorCategory.INVALID_LVALUE in cats(
+            "module m(input a, output reg y);\nassign y = a;\nendmodule"
+        )
+
+    def test_nonansi_output_then_reg_is_legal(self):
+        compile_ok(
+            "module m(a, q);\ninput a;\noutput q;\nreg q;\n"
+            "always @(*) q = a;\nendmodule"
+        )
+
+    def test_concat_lvalue_checked_per_part(self):
+        assert ErrorCategory.INVALID_LVALUE in cats(
+            "module m(input [1:0] a, output reg x, output y);\n"
+            "always @(*) {x, y} = a;\nendmodule"
+        )
+
+
+class TestDuplicates:
+    def test_duplicate_net(self):
+        assert ErrorCategory.DUPLICATE_DECL in cats(
+            "module m(input a);\nwire t;\nwire t;\nendmodule"
+        )
+
+    def test_duplicate_port(self):
+        assert ErrorCategory.DUPLICATE_DECL in cats(
+            "module m(input a, input a);\nendmodule"
+        )
+
+    def test_port_conflicting_redeclaration(self):
+        assert ErrorCategory.DUPLICATE_DECL in cats(
+            "module m(input a, output reg q);\nreg q;\n"
+            "always @(*) q = a;\nendmodule"
+        )
+
+
+class TestInstances:
+    def test_unknown_module(self):
+        assert ErrorCategory.UNDECLARED_ID in cats(
+            "module top(input a, output y);\nmystery u1 (.x(a), .y(y));\nendmodule"
+        )
+
+    def test_bad_port_name(self):
+        result = compile_source(
+            "module top(input a, output y);\nsub u1 (.nope(a), .out(y));\nendmodule\n"
+            "module sub(input in, output out);\nassign out = in;\nendmodule"
+        )
+        assert any(d.category is ErrorCategory.PORT_MISMATCH for d in result.errors)
+        bad = [d for d in result.errors if d.category is ErrorCategory.PORT_MISMATCH][0]
+        assert bad.args["port"] == "nope"
+
+    def test_too_many_positional(self):
+        assert ErrorCategory.PORT_MISMATCH in cats(
+            "module top(input a, input b, output y);\nsub u1 (a, b, y);\nendmodule\n"
+            "module sub(input i, output o);\nassign o = i;\nendmodule"
+        )
+
+    def test_good_instance_ok(self):
+        result = compile_ok(
+            "module top(input a, output y);\nsub u1 (.in(a), .out(y));\nendmodule\n"
+            "module sub(input in, output out);\nassign out = in;\nendmodule"
+        )
+        inst = result.elaborated.modules["top"].instances[0]
+        assert set(inst.port_map) == {"in", "out"}
+
+
+class TestConstEval:
+    def test_arithmetic(self):
+        from repro.verilog import SourceFile, const_eval, parse
+
+        design = parse(SourceFile("t.v", "module m; localparam X = (3 + 4) * 2 ** 2; endmodule"))
+        item = design.top_module().items[0]
+        assert const_eval(item.value) == 28
+
+    def test_clog2(self):
+        from repro.verilog import SourceFile, const_eval, parse
+
+        design = parse(SourceFile("t.v", "module m; localparam X = $clog2(256); endmodule"))
+        assert const_eval(design.top_module().items[0].value) == 8
+
+    def test_nonconstant_returns_none(self):
+        from repro.verilog import SourceFile, const_eval, parse
+
+        design = parse(SourceFile("t.v", "module m; localparam X = y + 1; endmodule"))
+        assert const_eval(design.top_module().items[0].value) is None

@@ -1,0 +1,129 @@
+"""Scaled-down smoke tests for the experiment drivers (the benchmarks
+run them at full scale)."""
+
+import pytest
+
+from repro.dataset import ProblemSet, build_syntax_dataset, rtllm, verilogeval
+from repro.eval import (
+    FIG6_CODE,
+    default_dataset,
+    figure5_logs,
+    figure6_failure_case,
+    run_figure7,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.eval.runner import evaluate_sample
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return build_syntax_dataset(
+        verilogeval(), samples_per_problem=4, seed=0, target_size=24
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_problems():
+    full = verilogeval()
+    picked = [
+        full.get(pid)
+        for pid in ("mux2to1", "counter4_reset", "fsm_seq101", "popcount8")
+    ]
+    return ProblemSet(name="tiny", problems=picked)
+
+
+class TestTable1Driver:
+    def test_structure_and_ordering(self, tiny_dataset):
+        result = run_table1(tiny_dataset, repeats=1, include_gpt4=False)
+        rates = result.rates
+        assert len(rates) == 10
+        assert rates[("react", "quartus", True)] >= rates[("oneshot", "quartus", False)]
+        rendered = result.render()
+        assert "Table 1" in rendered
+        assert "paper" in rendered
+
+    def test_gpt4_rows_included_when_asked(self, tiny_dataset):
+        result = run_table1(tiny_dataset, repeats=1, include_gpt4=True)
+        assert ("react-gpt4", "quartus", True) in result.rates
+
+
+class TestTable2Driver:
+    def test_outcomes_and_uplift(self, tiny_problems):
+        result = run_table2(tiny_problems, n_samples=6, sim_samples=12)
+        assert set(result.outcomes) == {"human", "machine"}
+        for outcomes in result.outcomes.values():
+            assert len(outcomes) == len(tiny_problems)
+            for o in outcomes:
+                assert (
+                    o.correct_original + o.syntax_original + o.sim_original == o.n
+                )
+                assert (
+                    o.correct_fixed + o.syntax_fixed + o.sim_fixed == o.n
+                )
+                assert o.correct_fixed >= o.correct_original
+        assert result.pass_at("human", "all", 1, True) >= result.pass_at(
+            "human", "all", 1, False
+        )
+        assert "Table 2" in result.render()
+
+    def test_error_composition_sums_to_one(self, tiny_problems):
+        result = run_table2(tiny_problems, n_samples=6, sim_samples=12)
+        for bench in ("human", "machine"):
+            for fixed in (False, True):
+                comp = result.error_composition(bench, fixed)
+                assert sum(comp.values()) == pytest.approx(1.0)
+
+    def test_easy_split_threshold(self, tiny_problems):
+        result = run_table2(tiny_problems, n_samples=6, sim_samples=12)
+        easy = result.easy_ids()
+        for outcome in result.outcomes["human"]:
+            if outcome.correct_original / outcome.n > 0.1:
+                assert outcome.problem_id in easy
+
+
+class TestTable3Driver:
+    def test_rtllm_improvement(self):
+        problems = rtllm()
+        result = run_table3(problems, n_samples=4, sim_samples=12)
+        assert 0.0 <= result.syntax_before <= result.syntax_after <= 1.0
+        assert result.pass1_after >= result.pass1_before
+        assert "Table 3" in result.render()
+
+
+class TestFigureDrivers:
+    def test_figure7(self, tiny_dataset):
+        result = run_figure7(tiny_dataset, repeats=1)
+        assert result.total > 0
+        assert abs(sum(result.fraction(k) for k in result.histogram) - 1.0) < 1e-9
+        assert "Figure 7" in result.render()
+
+    def test_figure5_logs(self):
+        logs = figure5_logs()
+        assert "Unable to bind" in logs["iverilog"]
+        assert "Error (10161)" in logs["quartus"]
+
+    def test_figure6(self):
+        result = figure6_failure_case(repeats=2)
+        assert "index -17" in result["log"]
+        assert 0.0 <= result["fix_rate"] <= 1.0
+
+    def test_fig6_code_fails_compile(self):
+        from repro.diagnostics import compile_source
+
+        assert not compile_source(FIG6_CODE).ok
+
+
+class TestRunnerHelpers:
+    def test_evaluate_sample_verdicts(self, tiny_problems):
+        problem = tiny_problems.get("mux2to1")
+        assert evaluate_sample(problem.reference, problem, samples=12) == "pass"
+        broken = problem.reference.replace("assign", "asign")
+        assert evaluate_sample(broken, problem, samples=12) == "syntax"
+        wrong = problem.reference.replace("sel ? b : a", "sel ? a : b")
+        assert evaluate_sample(wrong, problem, samples=12) == "sim"
+
+    def test_default_dataset_helper(self):
+        ds = default_dataset(samples_per_problem=4, target_size=20)
+        assert len(ds) == 20

@@ -1,0 +1,112 @@
+"""Tests for the simulated LLM generation sampler and logic mutations."""
+
+import random
+
+from repro.dataset import GenerationModel, logic_rate, mutate_logic, verilogeval
+from repro.dataset.generate import SYNTAX_RATE
+from repro.dataset.mutate import force_behavior_change
+from repro.core import rule_fix
+from repro.diagnostics import compile_source
+from repro.sim import run_differential
+
+CORPUS = verilogeval()
+EASY = CORPUS.get("mux2to1")
+HARD = CORPUS.get("fsm_seq101")
+
+
+class TestGenerationModel:
+    def test_deterministic_per_seed(self):
+        model = GenerationModel(seed=3)
+        a = model.sample(EASY, "human", index=4)
+        b = model.sample(EASY, "human", index=4)
+        assert a.raw == b.raw
+
+    def test_indices_vary(self):
+        model = GenerationModel(seed=3)
+        raws = {model.sample(EASY, "human", index=i).raw for i in range(10)}
+        assert len(raws) > 3
+
+    def test_sample_n(self):
+        model = GenerationModel()
+        samples = model.sample_n(EASY, 5)
+        assert len(samples) == 5
+        assert all(s.problem_id == EASY.id for s in samples)
+
+    def test_syntax_samples_fail_compilation(self):
+        model = GenerationModel(seed=1)
+        checked = 0
+        for i in range(60):
+            sample = model.sample(HARD, "human", index=i)
+            if sample.kind == "syntax":
+                fixed = rule_fix(sample.raw)
+                assert not compile_source(fixed.code).ok
+                checked += 1
+        assert checked > 5
+
+    def test_correct_samples_compile(self):
+        model = GenerationModel(seed=1)
+        for i in range(40):
+            sample = model.sample(EASY, "human", index=i)
+            if sample.kind == "correct":
+                fixed = rule_fix(sample.raw)
+                assert compile_source(fixed.code).ok
+
+    def test_hard_problems_get_more_syntax_errors(self):
+        assert SYNTAX_RATE[("human", "hard")] > SYNTAX_RATE[("human", "easy")]
+
+    def test_machine_benchmark_solves_more(self):
+        assert logic_rate(HARD, "machine") > logic_rate(HARD, "human")
+
+    def test_gpt4_tier_produces_fewer_syntax_errors(self):
+        weak = GenerationModel(tier="gpt-3.5-sim", seed=2)
+        strong = GenerationModel(tier="gpt-4-sim", seed=2)
+        weak_syntax = sum(
+            weak.sample(HARD, "human", i).kind == "syntax" for i in range(80)
+        )
+        strong_syntax = sum(
+            strong.sample(HARD, "human", i).kind == "syntax" for i in range(80)
+        )
+        assert strong_syntax < weak_syntax
+
+    def test_some_samples_dressed_in_markdown(self):
+        model = GenerationModel(seed=0)
+        raws = [model.sample(EASY, "human", i).raw for i in range(40)]
+        assert any("```" in raw for raw in raws)
+        assert any("```" not in raw for raw in raws)
+
+    def test_degenerate_samples_exist_at_scale(self):
+        model = GenerationModel(seed=0)
+        kinds = [model.sample(EASY, "human", i).kind for i in range(300)]
+        assert kinds.count("degenerate") >= 1
+
+
+class TestMutateLogic:
+    def test_mutant_compiles(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            mutated = mutate_logic(EASY.reference, rng)
+            assert compile_source(mutated).ok
+
+    def test_mutation_changes_code(self):
+        rng = random.Random(0)
+        results = {mutate_logic(EASY.reference, rng) for _ in range(10)}
+        assert any(r != EASY.reference for r in results)
+
+    def test_force_behavior_change_differs_functionally(self):
+        mutated = force_behavior_change(EASY.reference)
+        assert mutated is not None
+        ref = compile_source(EASY.reference).elaborated
+        mut = compile_source(mutated).elaborated
+        assert not run_differential(mut, ref, samples=16).passed
+
+    def test_force_behavior_change_none_without_assignments(self):
+        assert force_behavior_change("module m; endmodule") is None
+
+    def test_verified_mutant_actually_wrong(self):
+        model = GenerationModel(seed=9)
+        rng = random.Random(4)
+        mutated = model._mutate_verified(EASY, rng)
+        ref = compile_source(EASY.reference).elaborated
+        mut = compile_source(mutated).elaborated
+        assert mut is not None
+        assert not run_differential(mut, ref, samples=16).passed

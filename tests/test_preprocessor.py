@@ -1,0 +1,96 @@
+"""Unit tests for the Verilog preprocessor."""
+
+from repro.diagnostics import ErrorCategory
+from repro.verilog import SourceFile, preprocess
+
+
+def pp(code: str, **kwargs):
+    return preprocess(SourceFile("t.v", code), **kwargs)
+
+
+class TestTimescale:
+    def test_timescale_recorded_and_stripped(self):
+        result = pp("`timescale 1ns/1ps\nmodule m; endmodule")
+        assert result.timescale == "1ns/1ps"
+        assert result.timescale_lines == [1]
+        assert "`" not in result.source.text
+
+    def test_line_numbers_preserved(self):
+        result = pp("`timescale 1ns/1ps\nmodule m; endmodule")
+        assert result.source.text.startswith("\n")
+        assert "module" in result.source.line_text(2)
+
+    def test_misplaced_timescale_line_tracked(self):
+        result = pp("module m;\n`timescale 1ns/1ps\nendmodule")
+        assert result.timescale_lines == [2]
+
+
+class TestDefines:
+    def test_define_and_expand(self):
+        result = pp("`define W 8\nwire [`W-1:0] x;")
+        assert "[8-1:0]" in result.source.text
+
+    def test_define_without_value_defaults_to_one(self):
+        result = pp("`define FLAG\n`ifdef FLAG\nwire x;\n`endif")
+        assert "wire x;" in result.source.text
+
+    def test_undef(self):
+        result = pp("`define F 1\n`undef F\n`ifdef F\nwire x;\n`endif")
+        assert "wire x;" not in result.source.text
+
+    def test_external_defines(self):
+        result = pp("wire [`W:0] x;", defines={"W": "7"})
+        assert "[7:0]" in result.source.text
+
+    def test_unknown_macro_reports_undeclared(self):
+        result = pp("wire [`NOPE:0] x;")
+        assert result.diagnostics
+        assert result.diagnostics[0].category is ErrorCategory.UNDECLARED_ID
+        assert result.diagnostics[0].args["name"] == "NOPE"
+
+
+class TestConditionals:
+    def test_ifdef_else(self):
+        result = pp("`ifdef A\nwire x;\n`else\nwire y;\n`endif")
+        assert "wire y;" in result.source.text
+        assert "wire x;" not in result.source.text
+
+    def test_ifndef(self):
+        result = pp("`ifndef A\nwire x;\n`endif")
+        assert "wire x;" in result.source.text
+
+    def test_unterminated_ifdef_reports(self):
+        result = pp("`ifdef A\nwire x;")
+        assert any(
+            d.category is ErrorCategory.UNBALANCED_BLOCK for d in result.diagnostics
+        )
+
+    def test_nested_conditionals(self):
+        result = pp(
+            "`define A 1\n`ifdef A\n`ifdef B\nwire x;\n`else\nwire y;\n`endif\n`endif"
+        )
+        assert "wire y;" in result.source.text
+
+
+class TestInclude:
+    def test_include_resolved(self):
+        result = pp('`include "defs.vh"\n', include_files={"defs.vh": "wire z;"})
+        assert "wire z;" in result.source.text
+
+    def test_missing_include_reports(self):
+        result = pp('`include "gone.vh"\n')
+        assert result.diagnostics[0].category is ErrorCategory.UNDECLARED_ID
+        assert result.diagnostics[0].args["what"] == "include file"
+
+
+class TestEndToEnd:
+    def test_preprocessed_code_compiles(self):
+        from repro.diagnostics import compile_source
+
+        code = (
+            "`timescale 1ns/1ps\n"
+            "`define WIDTH 4\n"
+            "module m(input [`WIDTH-1:0] a, output [`WIDTH-1:0] y);\n"
+            "assign y = ~a;\nendmodule"
+        )
+        assert compile_source(code).ok

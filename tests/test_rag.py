@@ -1,0 +1,130 @@
+"""Tests for the RAG database and retrievers."""
+
+import pytest
+
+from repro.diagnostics import ErrorCategory, compile_source
+from repro.errors import RetrievalError
+from repro.rag import (
+    ExactTagRetriever,
+    FuzzyRetriever,
+    GuidanceDatabase,
+    GuidanceEntry,
+    JaccardRetriever,
+    TfIdfRetriever,
+    build_default_database,
+    make_retriever,
+)
+
+DB = build_default_database()
+
+UNDECLARED_CODE = (
+    "module top_module(input [7:0] in, output reg [7:0] out);\n"
+    "always @(posedge clk) out <= in;\nendmodule"
+)
+
+
+def log_for(code: str, flavor: str) -> str:
+    return compile_source(code, flavor=flavor).log
+
+
+class TestDatabase:
+    def test_paper_scale_iverilog(self):
+        # Paper §3.3: 7 categories, 30 entries for iverilog.
+        entries = DB.for_compiler("iverilog")
+        assert len(entries) == 30
+        assert len(DB.categories("iverilog")) == 7
+
+    def test_paper_scale_quartus(self):
+        # Paper §3.3: 11 categories, 45 entries for Quartus.
+        entries = DB.for_compiler("quartus")
+        assert len(entries) == 45
+        assert len(DB.categories("quartus")) == 11
+
+    def test_unknown_compiler_rejected(self):
+        with pytest.raises(RetrievalError):
+            DB.for_compiler("vcs")
+
+    def test_json_roundtrip(self):
+        loaded = GuidanceDatabase.from_json(DB.to_json())
+        assert len(loaded) == len(DB)
+        assert loaded.entries[0] == DB.entries[0]
+
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "db.json")
+        DB.save(path)
+        assert len(GuidanceDatabase.load(path)) == len(DB)
+
+    def test_extensible(self):
+        db = GuidanceDatabase()
+        db.add(GuidanceEntry(
+            category=ErrorCategory.UNDECLARED_ID, compiler="quartus",
+            log_pattern="x", guidance="declare it",
+        ))
+        assert len(db) == 1
+
+
+class TestExactTagRetriever:
+    def test_quartus_tag_lookup(self):
+        retriever = ExactTagRetriever(DB, "quartus")
+        log = log_for(UNDECLARED_CODE, "quartus")
+        hits = retriever.retrieve(log)
+        assert hits
+        assert all(h.entry.category is ErrorCategory.UNDECLARED_ID for h in hits)
+
+    def test_iverilog_fragment_lookup(self):
+        retriever = ExactTagRetriever(DB, "iverilog")
+        log = log_for(UNDECLARED_CODE, "iverilog")
+        hits = retriever.retrieve(log)
+        assert hits
+        assert hits[0].entry.category is ErrorCategory.UNDECLARED_ID
+
+    def test_iverilog_ambiguous_syntax_maps_to_syntax_near(self):
+        code = "module m(output reg [3:0] q);\ninteger i;\ninitial for (i=0;i<4;i++) q[i]=0;\nendmodule"
+        retriever = ExactTagRetriever(DB, "iverilog")
+        hits = retriever.retrieve(log_for(code, "iverilog"))
+        # iverilog renders C-style errors as bare syntax errors, so
+        # exact-tag retrieval can only find the generic guidance.
+        assert hits
+        assert hits[0].entry.category is ErrorCategory.SYNTAX_NEAR
+
+    def test_quartus_distinguishes_the_same_case(self):
+        code = "module m(output reg [3:0] q);\ninteger i;\ninitial for (i=0;i<4;i++) q[i]=0;\nendmodule"
+        retriever = ExactTagRetriever(DB, "quartus")
+        hits = retriever.retrieve(log_for(code, "quartus"))
+        assert any(h.entry.category is ErrorCategory.C_STYLE_SYNTAX for h in hits)
+
+    def test_empty_log(self):
+        retriever = ExactTagRetriever(DB, "quartus")
+        assert retriever.retrieve("") == []
+
+
+@pytest.mark.parametrize("cls", [FuzzyRetriever, JaccardRetriever, TfIdfRetriever])
+class TestSimilarityRetrievers:
+    def test_finds_relevant_guidance(self, cls):
+        retriever = cls(DB, "quartus")
+        log = log_for(UNDECLARED_CODE, "quartus")
+        hits = retriever.retrieve(log, k=5)
+        assert hits
+        assert any(
+            h.entry.category is ErrorCategory.UNDECLARED_ID for h in hits
+        )
+
+    def test_scores_sorted_descending(self, cls):
+        retriever = cls(DB, "quartus")
+        hits = retriever.retrieve(log_for(UNDECLARED_CODE, "quartus"), k=5)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits_results(self, cls):
+        retriever = cls(DB, "quartus")
+        assert len(retriever.retrieve(log_for(UNDECLARED_CODE, "quartus"), k=2)) <= 2
+
+
+class TestFactory:
+    def test_all_kinds_constructible(self):
+        for kind in ("exact", "fuzzy", "jaccard", "tfidf"):
+            assert make_retriever(kind, DB, "quartus") is not None
+
+    def test_unknown_kind(self):
+        with pytest.raises(RetrievalError):
+            make_retriever("embedding", DB, "quartus")

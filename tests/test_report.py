@@ -1,0 +1,67 @@
+"""Smoke test for the one-call reproduction report (small scale)."""
+
+import json
+
+import pytest
+
+from repro.eval import ReportScale, run_full_report
+from repro.eval.report import FullReport
+
+
+@pytest.fixture(scope="module")
+def report():
+    scale = ReportScale(
+        dataset_size=24, dataset_samples_per_problem=4,
+        repeats=1, n_samples=4, sim_samples=12,
+        include_gpt4=False, simfix_samples_per_problem=1,
+    )
+    stages = []
+    result = run_full_report(scale=scale, progress=stages.append)
+    result._stages = stages  # type: ignore[attr-defined]
+    return result
+
+
+class TestFullReport:
+    def test_all_sections_populated(self, report):
+        assert report.table1
+        assert report.table2
+        assert report.table3
+        assert report.figure4
+        assert report.figure5
+        assert report.figure6
+        assert report.simfix
+
+    def test_progress_stages_reported(self, report):
+        assert any("Table 1" in s for s in report._stages)
+        assert any("extension" in s for s in report._stages)
+
+    def test_table1_carries_paper_values(self, report):
+        cell = report.table1[("react", "quartus", True)]
+        assert cell["paper"] == 0.985
+        assert 0.0 <= cell["measured"] <= 1.0
+
+    def test_table2_structure(self, report):
+        cell = report.table2["human/all"]
+        assert set(cell) >= {"pass@1", "pass@1_fixed", "paper"}
+        assert cell["pass@1_fixed"] >= cell["pass@1"]
+
+    def test_figure4_compositions_sum_to_one(self, report):
+        for bench_data in report.figure4.values():
+            for key in ("before", "after"):
+                assert sum(bench_data[key].values()) == pytest.approx(1.0)
+
+    def test_json_serializable(self, report):
+        payload = json.loads(report.to_json())
+        assert "table1" in payload and "scale" in payload
+
+    def test_markdown_rendering(self, report):
+        text = report.to_markdown()
+        assert text.startswith("# Reproduction report")
+        assert "table1" in text
+
+    def test_rendered_sections_nonempty(self, report):
+        for name in ("table1", "table2", "table3", "figure7", "simfix"):
+            assert report.rendered[name].strip(), name
+
+    def test_is_fullreport(self, report):
+        assert isinstance(report, FullReport)

@@ -1,0 +1,117 @@
+"""Failure-injection and robustness tests for the agent stack."""
+
+import pytest
+
+from repro.agents import OneShotAgent, ReActAgent
+from repro.core import RTLFixer
+from repro.diagnostics import Compiler, compile_source
+from repro.llm.base import RepairStep
+from repro.rag import ExactTagRetriever, GuidanceDatabase, build_default_database
+
+BROKEN = (
+    "module top_module(input [7:0] in, output reg [7:0] out);\n"
+    "always @(posedge clk) out <= in;\nendmodule\n"
+)
+
+
+class _StubbornModel:
+    """Model that always returns the code unchanged."""
+
+    name = "stubborn"
+
+    def start(self, code, flavor, use_rag):
+        return self
+
+    def step(self, code, feedback, guidance):
+        return RepairStep(thought="looks fine to me", code=code)
+
+
+class _VandalModel:
+    """Model that replaces the code with garbage every turn."""
+
+    name = "vandal"
+
+    def start(self, code, flavor, use_rag):
+        return self
+
+    def step(self, code, feedback, guidance):
+        return RepairStep(thought="rewriting...", code="@@@ not verilog @@@")
+
+
+class _GiveUpModel:
+    """Model that immediately declares success without fixing anything."""
+
+    name = "quitter"
+
+    def start(self, code, flavor, use_rag):
+        return self
+
+    def step(self, code, feedback, guidance):
+        return RepairStep(thought="done!", code=code, declared_done=True)
+
+
+class TestAgentRobustness:
+    def test_stubborn_model_terminates(self):
+        agent = ReActAgent(
+            model=_StubbornModel(), compiler=Compiler("quartus"), max_iterations=5
+        )
+        result = agent.run(BROKEN)
+        assert not result.success
+        assert result.iterations <= 5
+
+    def test_vandal_model_terminates_without_crash(self):
+        agent = ReActAgent(
+            model=_VandalModel(), compiler=Compiler("iverilog"), max_iterations=4
+        )
+        result = agent.run(BROKEN)
+        assert not result.success
+        assert result.iterations == 4
+
+    def test_quitter_stops_after_one_round(self):
+        agent = ReActAgent(
+            model=_GiveUpModel(), compiler=Compiler("quartus"), max_iterations=10
+        )
+        result = agent.run(BROKEN)
+        assert not result.success
+        assert result.iterations == 1
+
+    def test_oneshot_with_vandal(self):
+        agent = OneShotAgent(model=_VandalModel(), compiler=Compiler("quartus"))
+        result = agent.run(BROKEN)
+        assert not result.success
+
+    def test_empty_input(self):
+        result = RTLFixer(max_iterations=2).fix("")
+        assert not result.success
+
+    def test_whitespace_only_input(self):
+        result = RTLFixer(max_iterations=2).fix("   \n\t\n")
+        assert not result.success
+
+    def test_huge_garbage_input_bounded(self):
+        junk = "xyzzy " * 5000
+        result = RTLFixer(max_iterations=2).fix(junk)
+        assert not result.success
+
+    def test_unicode_input_survives(self):
+        result = RTLFixer(max_iterations=2).fix(
+            "module m(output y);\nassign y = 1'b0; // ←⚡\nendmodule"
+        )
+        assert result.success  # non-ASCII comment stripped by rule-fix
+
+
+class TestRetrieverRobustness:
+    def test_wrong_flavor_log_yields_no_hits(self):
+        retriever = ExactTagRetriever(build_default_database(), "quartus")
+        iverilog_log = compile_source(BROKEN, flavor="iverilog").log
+        # Quartus-tag retrieval over an iverilog log: no numeric tags.
+        assert retriever.retrieve(iverilog_log) == []
+
+    def test_agent_works_with_empty_retrieval(self):
+        # Database with entries for quartus only, agent on iverilog...
+        db = GuidanceDatabase(
+            entries=[e for e in build_default_database() if e.compiler == "iverilog"]
+        )
+        fixer = RTLFixer(compiler="iverilog", database=db)
+        result = fixer.fix(BROKEN)
+        assert result.final_code  # no crash; usually fixed

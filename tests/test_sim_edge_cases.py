@@ -1,0 +1,181 @@
+"""Simulator edge cases not exercised by the main integration tests."""
+
+import pytest
+
+from repro.diagnostics import compile_source
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def build(code: str) -> Simulator:
+    result = compile_source(code)
+    assert result.ok, result.log
+    return Simulator(result.elaborated)
+
+
+class TestLvalueForms:
+    def test_indexed_select_write(self):
+        sim = build(
+            "module m(input [1:0] sel, input [3:0] d, output reg [15:0] q);\n"
+            "always @(*) begin\n  q = 0;\n  q[sel * 4 +: 4] = d;\nend\nendmodule"
+        )
+        sim.step({"sel": 2, "d": 0xF})
+        assert sim.get("q").bits == 0x0F00
+
+    def test_range_select_write(self):
+        sim = build(
+            "module m(input [3:0] d, output reg [7:0] q);\n"
+            "always @(*) begin\n  q = 8'h00;\n  q[7:4] = d;\nend\nendmodule"
+        )
+        sim.step({"d": 0xA})
+        assert sim.get("q").bits == 0xA0
+
+    def test_concat_lvalue_split(self):
+        sim = build(
+            "module m(input [7:0] d, output reg [3:0] hi, output reg [3:0] lo);\n"
+            "always @(*) {hi, lo} = d;\nendmodule"
+        )
+        sim.step({"d": 0xAB})
+        assert sim.get("hi").bits == 0xA
+        assert sim.get("lo").bits == 0xB
+
+    def test_memory_write_with_x_address_is_lost(self):
+        sim = build(
+            "module m(input clk, input [7:0] d, output [7:0] q);\n"
+            "reg [1:0] addr;\n"  # never driven: stays X
+            "reg [7:0] mem [0:3];\n"
+            "always @(posedge clk) mem[addr] <= d;\n"
+            "assign q = mem[0];\nendmodule"
+        )
+        sim.step({"clk": 0, "d": 0x55})
+        sim.step({"clk": 1})
+        assert sim.get("q").has_x  # nothing written anywhere
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        sim = build(
+            "module m(input [3:0] n, output reg [7:0] total);\n"
+            "reg [3:0] i;\n"
+            "always @(*) begin\n"
+            "  total = 0;\n  i = 0;\n"
+            "  while (i < n) begin\n    total = total + i;\n    i = i + 1;\n  end\n"
+            "end\nendmodule"
+        )
+        sim.step({"n": 5})
+        assert sim.get("total").bits == 0 + 1 + 2 + 3 + 4
+
+    def test_repeat_loop(self):
+        sim = build(
+            "module m(output reg [7:0] q);\n"
+            "initial begin\n  q = 1;\n  repeat (3) q = q * 2;\nend\nendmodule"
+        )
+        assert sim.get("q").bits == 8
+
+    def test_casez_wildcards(self):
+        sim = build(
+            "module m(input [3:0] in, output reg [1:0] y);\n"
+            "always @(*) casez (in)\n"
+            "  4'b1zzz: y = 2'd3;\n"
+            "  4'b01zz: y = 2'd2;\n"
+            "  4'b001z: y = 2'd1;\n"
+            "  default: y = 2'd0;\n"
+            "endcase\nendmodule"
+        )
+        for value, expected in [(0b1000, 3), (0b0101, 2), (0b0010, 1), (0b0001, 0)]:
+            sim.step({"in": value})
+            assert sim.get("y").bits == expected, bin(value)
+
+    def test_nested_function_calls(self):
+        sim = build(
+            "module m(input [7:0] a, output [7:0] y);\n"
+            "function [7:0] double(input [7:0] v);\n  double = v << 1;\nendfunction\n"
+            "function [7:0] quad(input [7:0] v);\n  quad = double(double(v));\nendfunction\n"
+            "assign y = quad(a);\nendmodule"
+        )
+        sim.step({"a": 3})
+        assert sim.get("y").bits == 12
+
+    def test_for_with_negative_step(self):
+        sim = build(
+            "module m(input [7:0] in, output reg [7:0] out);\n"
+            "integer i;\n"
+            "always @(*) begin\n"
+            "  out = 0;\n"
+            "  for (i = 7; i >= 0; i = i - 1) out[7 - i] = in[i];\n"
+            "end\nendmodule"
+        )
+        sim.step({"in": 0b1100_0000})
+        assert sim.get("out").bits == 0b0000_0011
+
+
+class TestParameters:
+    def test_parameterized_width(self):
+        sim = build(
+            "module m #(parameter W = 12)(input [W-1:0] a, output [W-1:0] y);\n"
+            "assign y = ~a;\nendmodule"
+        )
+        sim.step({"a": 0})
+        assert sim.get("y").bits == 0xFFF
+
+    def test_localparam_constant(self):
+        sim = build(
+            "module m(output [7:0] y);\nlocalparam MAGIC = 8'h5A;\n"
+            "assign y = MAGIC;\nendmodule"
+        )
+        assert sim.get("y").bits == 0x5A
+
+    def test_clog2_parameter(self):
+        sim = build(
+            "module m(output [7:0] y);\nlocalparam AW = $clog2(64);\n"
+            "assign y = AW;\nendmodule"
+        )
+        assert sim.get("y").bits == 6
+
+
+class TestMisc:
+    def test_descending_unpacked_range(self):
+        sim = build(
+            "module m(input [1:0] a, output y);\nwire [0:3] v;\n"
+            "assign v = 4'b1000;\nassign y = v[0];\nendmodule"
+        )
+        sim.step({"a": 0})
+        assert sim.get("y").bits == 1
+
+    def test_replicate_in_expression(self):
+        sim = build(
+            "module m(input b, output [7:0] y);\nassign y = {8{b}};\nendmodule"
+        )
+        sim.step({"b": 1})
+        assert sim.get("y").bits == 0xFF
+
+    def test_step_without_inputs(self):
+        sim = build("module m(input a, output y);\nassign y = a;\nendmodule")
+        sim.step()  # no stimulus: stays X, no crash
+        assert sim.get("y").has_x
+
+    def test_multiple_independent_always_blocks(self):
+        sim = build(
+            "module m(input clk, output reg [3:0] a, output reg [3:0] b);\n"
+            "initial begin a = 0; b = 8; end\n"
+            "always @(posedge clk) a <= a + 1;\n"
+            "always @(posedge clk) b <= b - 1;\nendmodule"
+        )
+        sim.step({"clk": 0})
+        sim.step({"clk": 1})
+        assert (sim.get("a").bits, sim.get("b").bits) == (1, 7)
+
+    def test_top_selection_by_name(self):
+        code = (
+            "module helper(input x, output y);\nassign y = ~x;\nendmodule\n"
+            "module main_mod(input x, output y);\nassign y = x;\nendmodule"
+        )
+        elab = compile_source(code).elaborated
+        sim = Simulator(elab, top="main_mod")
+        sim.step({"x": 1})
+        assert sim.get("y").bits == 1
+
+    def test_unknown_top_falls_back(self):
+        elab = compile_source("module only_one(input a, output y);\nassign y = a;\nendmodule").elaborated
+        sim = Simulator(elab, top="missing")
+        assert sim.top.name == "only_one"

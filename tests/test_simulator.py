@@ -1,0 +1,302 @@
+"""Integration tests: compile + simulate small designs."""
+
+import pytest
+
+from repro.diagnostics import compile_source
+from repro.errors import SimulationError
+from repro.sim import Logic, Simulator
+
+
+def build(code: str) -> Simulator:
+    result = compile_source(code)
+    assert result.ok, result.log
+    return Simulator(result.elaborated)
+
+
+class TestCombinational:
+    def test_passthrough(self):
+        sim = build("module m(input [7:0] a, output [7:0] y);\nassign y = a;\nendmodule")
+        sim.step({"a": 0x5A})
+        assert sim.get("y").bits == 0x5A
+
+    def test_invert(self):
+        sim = build("module m(input [3:0] a, output [3:0] y);\nassign y = ~a;\nendmodule")
+        sim.step({"a": 0b1010})
+        assert sim.get("y").bits == 0b0101
+
+    def test_adder_with_carry(self):
+        sim = build(
+            "module m(input [7:0] a, input [7:0] b, output [8:0] s);\n"
+            "assign s = a + b;\nendmodule"
+        )
+        sim.step({"a": 200, "b": 100})
+        assert sim.get("s").bits == 300
+
+    def test_mux_ternary(self):
+        sim = build(
+            "module m(input sel, input [3:0] a, input [3:0] b, output [3:0] y);\n"
+            "assign y = sel ? a : b;\nendmodule"
+        )
+        sim.step({"sel": 1, "a": 3, "b": 9})
+        assert sim.get("y").bits == 3
+        sim.step({"sel": 0})
+        assert sim.get("y").bits == 9
+
+    def test_bit_reversal_via_concat(self):
+        sim = build(
+            "module m(input [3:0] a, output [3:0] y);\n"
+            "assign y = {a[0], a[1], a[2], a[3]};\nendmodule"
+        )
+        sim.step({"a": 0b0001})
+        assert sim.get("y").bits == 0b1000
+
+    def test_chained_assigns_settle(self):
+        sim = build(
+            "module m(input a, output y);\nwire t1, t2;\n"
+            "assign t1 = ~a;\nassign t2 = ~t1;\nassign y = ~t2;\nendmodule"
+        )
+        sim.step({"a": 1})
+        assert sim.get("y").bits == 0
+
+    def test_comb_always_with_case(self):
+        sim = build(
+            "module m(input [1:0] s, output reg [3:0] y);\n"
+            "always @(*) case (s)\n"
+            "  2'd0: y = 4'd1;\n  2'd1: y = 4'd2;\n"
+            "  2'd2: y = 4'd4;\n  default: y = 4'd8;\nendcase\nendmodule"
+        )
+        for s, expected in [(0, 1), (1, 2), (2, 4), (3, 8)]:
+            sim.step({"s": s})
+            assert sim.get("y").bits == expected
+
+    def test_comb_for_loop_reversal(self):
+        sim = build(
+            "module m(input [7:0] in, output reg [7:0] out);\n"
+            "integer i;\n"
+            "always @(*) for (i = 0; i < 8; i = i + 1) out[i] = in[7 - i];\n"
+            "endmodule"
+        )
+        sim.step({"in": 0b1000_0001})
+        assert sim.get("out").bits == 0b1000_0001
+        sim.step({"in": 0b1100_0000})
+        assert sim.get("out").bits == 0b0000_0011
+
+    def test_reduction_popcount_function(self):
+        sim = build(
+            "module m(input [7:0] a, output [3:0] n);\n"
+            "function [3:0] popcount(input [7:0] v);\n"
+            "  integer i;\n"
+            "  begin\n"
+            "    popcount = 0;\n"
+            "    for (i = 0; i < 8; i = i + 1) popcount = popcount + v[i];\n"
+            "  end\nendfunction\n"
+            "assign n = popcount(a);\nendmodule"
+        )
+        sim.step({"a": 0b1011_0110})
+        assert sim.get("n").bits == 5
+
+    def test_signed_comparison(self):
+        sim = build(
+            "module m(input signed [7:0] a, output lt);\n"
+            "assign lt = a < 0;\nendmodule"
+        )
+        sim.step({"a": 0xFF})
+        assert sim.get("lt").bits == 1
+        sim.step({"a": 0x01})
+        assert sim.get("lt").bits == 0
+
+    def test_descending_range_decl(self):
+        sim = build(
+            "module m(input [0:3] a, output y);\nassign y = a[0];\nendmodule"
+        )
+        sim.step({"a": 0b1000})  # a[0] is the MSB for [0:3]
+        assert sim.get("y").bits == 1
+
+
+class TestSequential:
+    def test_dff(self):
+        sim = build(
+            "module m(input clk, input d, output reg q);\n"
+            "always @(posedge clk) q <= d;\nendmodule"
+        )
+        sim.step({"clk": 0, "d": 1})
+        assert sim.get("q").has_x  # not clocked yet
+        sim.step({"clk": 1})
+        assert sim.get("q").bits == 1
+        sim.step({"clk": 0, "d": 0})
+        assert sim.get("q").bits == 1  # holds until next edge
+        sim.step({"clk": 1})
+        assert sim.get("q").bits == 0
+
+    def test_counter_with_sync_reset(self):
+        sim = build(
+            "module m(input clk, input reset, output reg [3:0] q);\n"
+            "always @(posedge clk) begin\n"
+            "  if (reset) q <= 0;\n  else q <= q + 1;\nend\nendmodule"
+        )
+        sim.step({"clk": 0, "reset": 1})
+        sim.step({"clk": 1})
+        assert sim.get("q").bits == 0
+        for expected in (1, 2, 3):
+            sim.step({"clk": 0, "reset": 0})
+            sim.step({"clk": 1})
+            assert sim.get("q").bits == expected
+
+    def test_async_reset(self):
+        sim = build(
+            "module m(input clk, input areset, input d, output reg q);\n"
+            "always @(posedge clk or posedge areset) begin\n"
+            "  if (areset) q <= 0;\n  else q <= d;\nend\nendmodule"
+        )
+        sim.step({"clk": 0, "areset": 0, "d": 1})
+        sim.step({"areset": 1})  # async reset without clock edge
+        assert sim.get("q").bits == 0
+
+    def test_nba_swap(self):
+        # The classic: nonblocking swap must use old values.
+        sim = build(
+            "module m(input clk, input load, input [3:0] x, output reg [3:0] a, output reg [3:0] b);\n"
+            "always @(posedge clk) begin\n"
+            "  if (load) begin a <= x; b <= x + 1; end\n"
+            "  else begin a <= b; b <= a; end\nend\nendmodule"
+        )
+        sim.step({"clk": 0, "load": 1, "x": 5})
+        sim.step({"clk": 1})
+        assert (sim.get("a").bits, sim.get("b").bits) == (5, 6)
+        sim.step({"clk": 0, "load": 0})
+        sim.step({"clk": 1})
+        assert (sim.get("a").bits, sim.get("b").bits) == (6, 5)
+
+    def test_negedge(self):
+        sim = build(
+            "module m(input clk, input d, output reg q);\n"
+            "always @(negedge clk) q <= d;\nendmodule"
+        )
+        sim.step({"clk": 1, "d": 1})
+        sim.step({"clk": 0})
+        assert sim.get("q").bits == 1
+
+    def test_shift_register(self):
+        sim = build(
+            "module m(input clk, input din, output reg [3:0] q);\n"
+            "always @(posedge clk) q <= {q[2:0], din};\nendmodule"
+        )
+        sim.step({"clk": 0, "din": 1})
+        sim.step({"clk": 1})
+        sim.step({"clk": 0, "din": 0})
+        sim.step({"clk": 1})
+        sim.step({"clk": 0, "din": 1})
+        sim.step({"clk": 1})
+        # q is X-seeded; low 3 bits are known: 101
+        assert sim.get("q").slice(2, 0).bits == 0b101
+
+    def test_initial_block_seeds_state(self):
+        sim = build(
+            "module m(input clk, output reg [3:0] q);\n"
+            "initial q = 4'd7;\n"
+            "always @(posedge clk) q <= q + 1;\nendmodule"
+        )
+        assert sim.get("q").bits == 7
+        sim.step({"clk": 0})
+        sim.step({"clk": 1})
+        assert sim.get("q").bits == 8
+
+    def test_memory_write_read(self):
+        sim = build(
+            "module m(input clk, input we, input [1:0] addr, input [7:0] d, output [7:0] q);\n"
+            "reg [7:0] mem [0:3];\n"
+            "always @(posedge clk) if (we) mem[addr] <= d;\n"
+            "assign q = mem[addr];\nendmodule"
+        )
+        sim.step({"clk": 0, "we": 1, "addr": 2, "d": 0xAB})
+        sim.step({"clk": 1})
+        assert sim.get("q").bits == 0xAB
+
+
+class TestHierarchy:
+    def test_instance_passthrough(self):
+        sim = build(
+            "module top(input [3:0] a, output [3:0] y);\n"
+            "sub u1 (.in(a), .out(y));\nendmodule\n"
+            "module sub(input [3:0] in, output [3:0] out);\n"
+            "assign out = in + 1;\nendmodule"
+        )
+        sim.step({"a": 4})
+        assert sim.get("y").bits == 5
+
+    def test_two_instances_chained(self):
+        sim = build(
+            "module top(input [3:0] a, output [3:0] y);\nwire [3:0] t;\n"
+            "inc u1 (.in(a), .out(t));\n"
+            "inc u2 (.in(t), .out(y));\nendmodule\n"
+            "module inc(input [3:0] in, output [3:0] out);\n"
+            "assign out = in + 1;\nendmodule"
+        )
+        sim.step({"a": 0})
+        assert sim.get("y").bits == 2
+
+    def test_positional_connection(self):
+        sim = build(
+            "module top(input a, output y);\nnot_gate u (a, y);\nendmodule\n"
+            "module not_gate(input i, output o);\nassign o = ~i;\nendmodule"
+        )
+        sim.step({"a": 1})
+        assert sim.get("y").bits == 0
+
+    def test_sequential_child(self):
+        sim = build(
+            "module top(input clk, input d, output q);\n"
+            "dff u (.clk(clk), .d(d), .q(q));\nendmodule\n"
+            "module dff(input clk, input d, output reg q);\n"
+            "always @(posedge clk) q <= d;\nendmodule"
+        )
+        sim.step({"clk": 0, "d": 1})
+        sim.step({"clk": 1})
+        assert sim.get("q").bits == 1
+
+
+class TestErrorHandling:
+    def test_combinational_loop_detected(self):
+        # A loop seeded with a *known* value oscillates forever; X-seeded
+        # loops settle at X instead, which is legal.
+        result = compile_source(
+            "module m(input a, output y);\nreg t;\ninitial t = 0;\n"
+            "always @(*) t = ~t;\nassign y = t ^ a;\nendmodule"
+        )
+        assert result.ok
+        with pytest.raises(SimulationError):
+            Simulator(result.elaborated).step({"a": 0})
+
+    def test_x_seeded_feedback_settles_at_x(self):
+        result = compile_source(
+            "module m(input a, output y);\nwire t;\n"
+            "assign t = ~t;\nassign y = t ^ a;\nendmodule"
+        )
+        assert result.ok
+        sim = Simulator(result.elaborated)
+        sim.step({"a": 0})
+        assert sim.get("y").has_x
+
+    def test_unknown_input_rejected(self):
+        sim = build("module m(input a, output y);\nassign y = a;\nendmodule")
+        with pytest.raises(SimulationError):
+            sim.set_input("nope", 1)
+
+    def test_unknown_net_rejected(self):
+        sim = build("module m(input a, output y);\nassign y = a;\nendmodule")
+        with pytest.raises(SimulationError):
+            sim.get("ghost")
+
+    def test_runaway_while_loop(self):
+        result = compile_source(
+            "module m(input a, output reg y);\n"
+            "always @(*) begin\n  y = a;\n  while (1) y = ~y;\nend\nendmodule"
+        )
+        assert result.ok
+        with pytest.raises(SimulationError):
+            Simulator(result.elaborated).step({"a": 0})
+
+    def test_logic_input_port_values(self):
+        sim = build("module m(input [3:0] a, output [3:0] y);\nassign y = a;\nendmodule")
+        sim.step({"a": Logic.from_int(9, 4)})
+        assert sim.get("y").bits == 9

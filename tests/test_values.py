@@ -1,0 +1,225 @@
+"""Unit tests for 4-state Logic values and operator semantics."""
+
+import pytest
+
+from repro.sim import Logic
+from repro.sim import ops
+
+
+def L(value: int, width: int = 8, signed: bool = False) -> Logic:
+    return Logic.from_int(value, width, signed)
+
+
+class TestLogicBasics:
+    def test_masking_on_construction(self):
+        assert Logic(4, 0xFF).bits == 0xF
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Logic(0, 0)
+
+    def test_all_x(self):
+        v = Logic.all_x(4)
+        assert v.has_x and v.xmask == 0xF
+
+    def test_to_signed_int(self):
+        assert L(0xFF, 8, signed=True).to_signed_int() == -1
+        assert L(0x7F, 8, signed=True).to_signed_int() == 127
+
+    def test_resize_truncates(self):
+        assert L(0xAB, 8).resize(4).bits == 0xB
+
+    def test_resize_zero_extends_unsigned(self):
+        assert L(0x8, 4).resize(8).bits == 0x08
+
+    def test_resize_sign_extends_signed(self):
+        assert L(0x8, 4, signed=True).resize(8).bits == 0xF8
+
+    def test_resize_x_extends(self):
+        v = Logic(4, 0, xmask=0x8).resize(8)
+        assert v.xmask == 0xF8
+
+    def test_bit_access(self):
+        assert L(0b1010, 4).bit(1).bits == 1
+        assert L(0b1010, 4).bit(0).bits == 0
+
+    def test_bit_out_of_range_is_x(self):
+        assert L(0, 4).bit(7).has_x
+
+    def test_slice(self):
+        assert L(0xAB, 8).slice(7, 4).bits == 0xA
+
+    def test_slice_partially_out_of_range(self):
+        v = L(0xF, 4).slice(5, 2)
+        assert v.xmask == 0b1100
+        assert v.bits == 0b0011
+
+    def test_set_bit_and_slice(self):
+        assert L(0, 4).set_bit(2, Logic(1, 1)).bits == 0b0100
+        assert L(0, 8).set_slice(7, 4, L(0xA, 4)).bits == 0xA0
+
+    def test_str_known(self):
+        assert str(L(0xFF, 8)) == "8'hff"
+
+    def test_str_with_x(self):
+        assert "x" in str(Logic(4, 0, xmask=0x1))
+
+    def test_same_as_width_extension(self):
+        assert L(5, 4).same_as(L(5, 8))
+        assert not L(5, 4).same_as(L(6, 8))
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert ops.binary("+", L(3), L(4)).bits == 7
+
+    def test_add_wraps(self):
+        assert ops.binary("+", L(0xFF), L(1)).bits == 0
+
+    def test_sub_negative_wraps(self):
+        assert ops.binary("-", L(0), L(1)).bits == 0xFF
+
+    def test_mul(self):
+        assert ops.binary("*", L(7), L(6)).bits == 42
+
+    def test_div_and_mod(self):
+        assert ops.binary("/", L(17), L(5)).bits == 3
+        assert ops.binary("%", L(17), L(5)).bits == 2
+
+    def test_div_by_zero_is_x(self):
+        assert ops.binary("/", L(1), L(0)).has_x
+
+    def test_signed_arith(self):
+        a = L(0xFE, 8, signed=True)  # -2
+        b = L(3, 8, signed=True)
+        assert ops.binary("+", a, b).to_signed_int() == 1
+
+    def test_x_poisons_arith(self):
+        assert ops.binary("+", Logic.all_x(8), L(1)).has_x
+
+    def test_power(self):
+        assert ops.binary("**", L(2), L(10), ).bits == 0x00  # 1024 wraps in 8 bits
+        assert ops.binary("**", L(2, 16), L(10, 16)).bits == 1024
+
+    def test_width_is_max_of_operands(self):
+        assert ops.binary("+", L(1, 4), L(1, 16)).width == 16
+
+
+class TestBitwise:
+    def test_and_or_xor(self):
+        assert ops.binary("&", L(0b1100), L(0b1010)).bits == 0b1000
+        assert ops.binary("|", L(0b1100), L(0b1010)).bits == 0b1110
+        assert ops.binary("^", L(0b1100), L(0b1010)).bits == 0b0110
+
+    def test_and_with_x_short_circuit(self):
+        # 0 & x = 0 even though x is unknown
+        x = Logic(8, 0, xmask=0xFF)
+        out = ops.binary("&", L(0), x)
+        assert out.bits == 0 and out.xmask == 0
+
+    def test_or_with_x_short_circuit(self):
+        x = Logic(8, 0, xmask=0xFF)
+        out = ops.binary("|", L(0xFF), x)
+        assert out.bits == 0xFF and out.xmask == 0
+
+    def test_xor_with_x_is_x(self):
+        x = Logic(8, 0, xmask=0x0F)
+        assert ops.binary("^", L(0), x).xmask == 0x0F
+
+    def test_xnor(self):
+        assert ops.binary("~^", L(0b1100), L(0b1010)).bits == 0b11111001
+
+
+class TestCompareAndLogical:
+    def test_eq_ne(self):
+        assert ops.binary("==", L(5), L(5)).bits == 1
+        assert ops.binary("!=", L(5), L(6)).bits == 1
+
+    def test_eq_with_x_is_x(self):
+        assert ops.binary("==", Logic.all_x(8), L(5)).has_x
+
+    def test_case_eq_compares_x(self):
+        x = Logic(8, 0, xmask=0xFF)
+        assert ops.binary("===", x, Logic(8, 0, xmask=0xFF)).bits == 1
+        assert ops.binary("!==", x, L(0)).bits == 1
+
+    def test_relational_signed(self):
+        a = L(0xFF, 8, signed=True)  # -1
+        b = L(1, 8, signed=True)
+        assert ops.binary("<", a, b).bits == 1
+
+    def test_relational_unsigned(self):
+        assert ops.binary("<", L(0xFF), L(1)).bits == 0
+
+    def test_logical_and_or(self):
+        assert ops.binary("&&", L(2), L(3)).bits == 1
+        assert ops.binary("&&", L(0), L(3)).bits == 0
+        assert ops.binary("||", L(0), L(0)).bits == 0
+
+    def test_logical_short_circuit_with_x(self):
+        x = Logic.all_x(1)
+        assert ops.binary("&&", Logic(1, 0), x).bits == 0
+        assert ops.binary("||", Logic(1, 1), x).bits == 1
+
+
+class TestShifts:
+    def test_logical_shifts(self):
+        assert ops.binary("<<", L(1), L(3)).bits == 8
+        assert ops.binary(">>", L(0x80), L(3)).bits == 0x10
+
+    def test_shift_out(self):
+        assert ops.binary("<<", L(0xFF), L(8)).bits == 0
+
+    def test_arithmetic_right_shift_signed(self):
+        a = L(0x80, 8, signed=True)
+        assert ops.binary(">>>", a, L(3)).bits == 0xF0
+
+    def test_arithmetic_right_shift_unsigned_is_logical(self):
+        assert ops.binary(">>>", L(0x80), L(3)).bits == 0x10
+
+
+class TestUnaryAndReduction:
+    def test_not(self):
+        assert ops.unary("!", L(0)).bits == 1
+        assert ops.unary("!", L(7)).bits == 0
+
+    def test_invert(self):
+        assert ops.unary("~", L(0b1010, 4)).bits == 0b0101
+
+    def test_negate(self):
+        assert ops.unary("-", L(1)).bits == 0xFF
+
+    def test_reduction_and(self):
+        assert ops.unary("&", L(0xFF)).bits == 1
+        assert ops.unary("&", L(0xFE)).bits == 0
+
+    def test_reduction_or_nor(self):
+        assert ops.unary("|", L(0)).bits == 0
+        assert ops.unary("~|", L(0)).bits == 1
+
+    def test_reduction_xor_parity(self):
+        assert ops.unary("^", L(0b0111, 4)).bits == 1
+        assert ops.unary("^", L(0b0110, 4)).bits == 0
+
+    def test_reduction_and_with_known_zero_bit(self):
+        v = Logic(4, 0b0000, xmask=0b1110)  # bit0 known 0
+        assert ops.unary("&", v).bits == 0 and not ops.unary("&", v).has_x
+
+
+class TestConcatTernary:
+    def test_concat_order(self):
+        out = ops.concat([L(0xA, 4), L(0xB, 4)])
+        assert out.width == 8 and out.bits == 0xAB
+
+    def test_replicate(self):
+        out = ops.replicate(3, L(0b10, 2))
+        assert out.width == 6 and out.bits == 0b101010
+
+    def test_ternary_known(self):
+        assert ops.ternary(Logic(1, 1), L(1), L(2)).bits == 1
+        assert ops.ternary(Logic(1, 0), L(1), L(2)).bits == 2
+
+    def test_ternary_unknown_merges(self):
+        out = ops.ternary(Logic.all_x(1), L(0b1100), L(0b1010))
+        assert out.bits & 0b1000  # agreeing MSB stays known 1
+        assert out.xmask == 0b0110  # disagreeing bits unknown

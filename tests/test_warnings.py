@@ -1,0 +1,72 @@
+"""Tests for warning-severity diagnostics (width truncation)."""
+
+from repro.diagnostics import (
+    IVERILOG_CATEGORIES,
+    QUARTUS_CATEGORIES,
+    ErrorCategory,
+    Severity,
+    compile_source,
+)
+
+TRUNC = "module m(output [3:0] y);\nassign y = 16'hBEEF;\nendmodule"
+
+
+class TestWidthTruncationWarning:
+    def warning_list(self, code: str, **kwargs):
+        result = compile_source(code, **kwargs)
+        return [d for d in result.diagnostics if d.severity is Severity.WARNING]
+
+    def test_oversized_literal_in_assign_warns(self):
+        warnings = self.warning_list(TRUNC)
+        assert len(warnings) == 1
+        assert warnings[0].category is ErrorCategory.WIDTH_TRUNCATION
+        assert warnings[0].args["from_width"] == 16
+        assert warnings[0].args["to_width"] == 4
+
+    def test_warning_does_not_fail_compilation(self):
+        assert compile_source(TRUNC).ok
+
+    def test_procedural_literal_warns(self):
+        warnings = self.warning_list(
+            "module m(input clk, output reg [3:0] q);\n"
+            "always @(posedge clk) q <= 8'hFF;\nendmodule"
+        )
+        assert len(warnings) == 1
+
+    def test_fitting_literal_no_warning(self):
+        assert self.warning_list(
+            "module m(output [7:0] y);\nassign y = 8'hFF;\nendmodule"
+        ) == []
+
+    def test_unsized_literal_no_warning(self):
+        assert self.warning_list(
+            "module m(output [3:0] y);\nassign y = 255;\nendmodule"
+        ) == []
+
+    def test_quartus_renders_warning_line_with_errors(self):
+        code = (
+            "module m(input a, output [3:0] y);\n"
+            "assign y = 16'hBEEF;\nassign q = a;\nendmodule"
+        )
+        log = compile_source(code, flavor="quartus").log
+        assert "Warning (10230)" in log
+        assert "1 warning" in log
+
+    def test_iverilog_renders_warning_line_with_errors(self):
+        code = (
+            "module m(input a, output [3:0] y);\n"
+            "assign y = 16'hBEEF;\nassign q = a;\nendmodule"
+        )
+        log = compile_source(code, flavor="iverilog").log
+        assert "warning:" in log
+
+    def test_ok_compile_produces_empty_log_despite_warning(self):
+        assert compile_source(TRUNC, flavor="quartus").log == ""
+
+
+class TestTaxonomyInvariants:
+    def test_warning_category_excluded_from_taxonomy(self):
+        assert ErrorCategory.WIDTH_TRUNCATION not in QUARTUS_CATEGORIES
+        assert ErrorCategory.WIDTH_TRUNCATION not in IVERILOG_CATEGORIES
+        assert len(QUARTUS_CATEGORIES) == 11
+        assert len(IVERILOG_CATEGORIES) == 7
