@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and emit machine-readable results so the perf
+# trajectory is tracked across PRs.
+#
+# Usage:
+#   scripts/bench.sh                 # runtime benches -> BENCH_runtime.json
+#   scripts/bench.sh --all           # every bench    -> BENCH_all.json
+#   REPRO_BENCH_PROFILE=paper scripts/bench.sh   # full paper protocol
+#
+# Extra pytest arguments can follow the optional --all flag.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile="${REPRO_BENCH_PROFILE:-quick}"
+target="benchmarks/test_bench_runtime.py"
+out="${BENCH_JSON:-BENCH_runtime.json}"
+if [[ "${1:-}" == "--all" ]]; then
+    shift
+    target="benchmarks/"
+    out="${BENCH_JSON:-BENCH_all.json}"
+fi
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
+    python -m pytest "$target" --benchmark-only \
+    --benchmark-json "$out" "$@"
+echo "benchmark results written to $out (profile: $profile)"

@@ -5,7 +5,9 @@ Subcommands:
 * ``fix <file.v>``      -- debug a Verilog file with RTLFixer;
 * ``compile <file.v>``  -- show compiler diagnostics (pick a flavour);
 * ``dataset <out.json>``-- build the VerilogEval-syntax-equivalent
-  dataset and save it as JSON.
+  dataset and save it as JSON;
+* ``report``            -- run the full reproduction report (every
+  table/figure), optionally fanned out with ``--jobs``.
 """
 
 from __future__ import annotations
@@ -73,6 +75,53 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _job_count(text: str) -> int:
+    """argparse type for ``--jobs``: a non-negative int (0 = all CPUs)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all CPUs), got {value}"
+        )
+    return value
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .eval.report import ReportScale, run_full_report
+
+    scale = ReportScale(
+        dataset_size=args.dataset_size,
+        dataset_samples_per_problem=args.dataset_samples,
+        repeats=args.repeats,
+        n_samples=args.n_samples,
+        sim_samples=args.sim_samples,
+        include_gpt4=not args.no_gpt4,
+        simfix_samples_per_problem=args.simfix_samples,
+    )
+    report = run_full_report(
+        scale=scale,
+        jobs=args.jobs,
+        progress=lambda stage: print(f"[{stage}]", file=sys.stderr),
+    )
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(report.to_json())
+        print(f"wrote {args.json}")
+    else:
+        print(report.to_markdown())
+    stats = report.cache
+    print(
+        f"# compile cache: {stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['evictions']} evictions, "
+        f"{stats['compiles_avoided']} compiles avoided "
+        f"(hit rate {stats['hit_rate']:.1%})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the rtlfixer argument parser."""
     parser = argparse.ArgumentParser(
@@ -106,6 +155,27 @@ def build_parser() -> argparse.ArgumentParser:
     ds.add_argument("--size", type=int, default=212)
     ds.add_argument("--seed", type=int, default=0)
     ds.set_defaults(func=_cmd_dataset)
+
+    rep = sub.add_parser(
+        "report",
+        help="run the full reproduction report (all tables and figures)",
+    )
+    rep.add_argument(
+        "--jobs", type=_job_count, default=1,
+        help="parallel workers for experiment fan-out "
+        "(1 = serial, 0 = all CPUs; results are identical at any job count)",
+    )
+    rep.add_argument("--json", metavar="OUT",
+                     help="write the report as JSON here instead of markdown")
+    rep.add_argument("--dataset-size", type=int, default=212)
+    rep.add_argument("--dataset-samples", type=int, default=20)
+    rep.add_argument("--repeats", type=int, default=3)
+    rep.add_argument("--n-samples", type=int, default=10)
+    rep.add_argument("--sim-samples", type=int, default=24)
+    rep.add_argument("--simfix-samples", type=int, default=2)
+    rep.add_argument("--no-gpt4", action="store_true",
+                     help="skip the GPT-4 ablation rows")
+    rep.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -25,6 +25,11 @@ class RTLFixerConfig:
     max_iterations: int = DEFAULT_MAX_ITERATIONS
     apply_rule_fix: bool = True
     seed: int = 0
+    #: Worker count for experiment fan-out (repro.runtime.ParallelRunner):
+    #: 1 = serial, 0 = all CPUs, N = that many workers.  Parallelism never
+    #: changes results -- trials are seeded explicitly, so a parallel run
+    #: is bit-identical to a serial run at the same seed.
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.prompting not in ("react", "oneshot"):
@@ -38,6 +43,8 @@ class RTLFixerConfig:
             )
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = all CPUs)")
 
     def label(self) -> str:
         """Human-readable configuration summary for reports."""

@@ -11,6 +11,7 @@ Wires together the compiler facade, the RAG database + retriever, the
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from ..agents.oneshot import OneShotAgent
@@ -77,15 +78,7 @@ class RTLFixer:
     def with_seed(self, seed: int) -> "RTLFixer":
         """A copy of this fixer with a different sampling seed (used for
         the paper's n=10 repeated trials)."""
-        config = RTLFixerConfig(
-            prompting=self.config.prompting,
-            compiler=self.config.compiler,
-            use_rag=self.config.use_rag,
-            retriever=self.config.retriever,
-            tier=self.config.tier,
-            temperature=self.config.temperature,
-            max_iterations=self.config.max_iterations,
-            apply_rule_fix=self.config.apply_rule_fix,
-            seed=seed,
+        return RTLFixer(
+            config=dataclasses.replace(self.config, seed=seed),
+            database=self.database,
         )
-        return RTLFixer(config=config, database=self.database)

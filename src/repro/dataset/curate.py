@@ -20,7 +20,7 @@ import json
 from dataclasses import asdict, dataclass, field
 
 from ..core.rulefix import rule_fix, validate_module_text
-from ..diagnostics import ErrorCategory, compile_source
+from ..diagnostics import ErrorCategory
 from .cluster import cluster_codes
 from .generate import GenerationModel
 from .problem import Problem, ProblemSet
@@ -146,6 +146,8 @@ def build_syntax_dataset(
 def _filter_sample(
     problem: Problem, benchmark: str, raw: str, seed: int, stats: CurationStats
 ) -> SyntaxEntry | None:
+    from ..runtime.cache import cached_compile
+
     fixed = rule_fix(raw)
     if not fixed.has_module:
         stats.no_module += 1
@@ -153,7 +155,7 @@ def _filter_sample(
     if not validate_module_text(fixed.code):
         stats.empty_body += 1
         return None
-    result = compile_source(fixed.code)
+    result = cached_compile(fixed.code)
     if result.ok:
         stats.compiled_ok += 1
         return None

@@ -152,9 +152,10 @@ class GenerationModel:
         """A logic mutation verified to actually change behaviour
         (random operator swaps are sometimes accidentally equivalent)."""
         from ..diagnostics import compile_source
+        from ..runtime.cache import cached_compile
         from ..sim import run_differential
 
-        reference = compile_source(problem.reference).elaborated
+        reference = cached_compile(problem.reference).elaborated
         for _ in range(5):
             mutated = mutate_logic(problem.reference, rng)
             if mutated == problem.reference:

@@ -82,7 +82,13 @@ class Compiler:
         self.file_name = file_name
 
     def compile(self, code: str) -> CompileResult:
-        return compile_source(code, name=self.file_name, flavor=self.flavor)
+        # Routed through the content-addressed cache: agents re-compile
+        # the same revision across repeated trials, and compilation is a
+        # pure function of the inputs.  (Deferred import: repro.runtime
+        # falls back to compile_source below, avoiding a cycle.)
+        from ..runtime.cache import cached_compile
+
+        return cached_compile(code, name=self.file_name, flavor=self.flavor)
 
 
 def compile_source(

@@ -4,6 +4,13 @@ Each driver returns a structured result object with a ``render()``
 method that prints the same rows the paper reports.  The benchmarks in
 ``benchmarks/`` call these with full-size parameters; tests use scaled-
 down ones.
+
+Every driver accepts ``jobs=`` (and optionally ``runner=``): per-problem
+/ per-trial work units fan out across a
+:class:`repro.runtime.ParallelRunner`, with results reassembled in
+submission order so parallel runs are bit-identical to serial ones at
+the same seed.  Compilation inside the evaluation flow goes through the
+content-addressed compile cache (:mod:`repro.runtime.cache`).
 """
 
 from __future__ import annotations
@@ -15,8 +22,9 @@ from ..core.config import RTLFixerConfig
 from ..core.fixer import RTLFixer
 from ..dataset.curate import SyntaxDataset, build_syntax_dataset
 from ..dataset.generate import GenerationModel
-from ..dataset.problem import ProblemSet
+from ..dataset.problem import Problem, ProblemSet
 from ..diagnostics import compile_source
+from ..runtime import ParallelRunner, cached_compile
 from .metrics import pass_at_k_single
 from .runner import FixExperimentResult, evaluate_code, evaluate_sample, run_fix_experiment
 from .tables import render_table
@@ -97,9 +105,11 @@ def run_table1(
     include_gpt4: bool = True,
     max_iterations: int = 10,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> Table1Result:
     """Fix rate for One-shot vs ReAct, w/ and w/o RAG, across feedback
-    qualities, plus the GPT-4 ablation column (§4.2, §4.3)."""
+    qualities, plus the GPT-4 ablation column (§4.2, §4.3).  ``jobs``
+    fans each configuration's trials across workers."""
     result = Table1Result()
     grid: list[tuple[str, str, str, bool]] = []
     for prompting in ("oneshot", "react"):
@@ -119,7 +129,9 @@ def run_table1(
             prompting=prompting, compiler=compiler, use_rag=rag,
             tier=tier, max_iterations=max_iterations,
         )
-        run = run_fix_experiment(dataset, fixer, repeats=repeats, progress=progress)
+        run = run_fix_experiment(
+            dataset, fixer, repeats=repeats, progress=progress, jobs=jobs
+        )
         result.rates[(label, compiler, rag)] = run.rate
         result.details[(label, compiler, rag)] = run
     return result
@@ -226,6 +238,53 @@ class Table2Result:
         )
 
 
+@dataclass(frozen=True)
+class _Table2Unit:
+    """One (benchmark, problem) Table 2 work unit."""
+
+    problem: Problem
+    benchmark: str
+    n_samples: int
+    sim_samples: int
+    config: RTLFixerConfig
+    seed: int
+
+
+def _table2_problem_outcome(unit: _Table2Unit) -> ProblemOutcome:
+    """Evaluate (and fix) every sample of one problem -- the Table 2
+    inner loop, self-contained so it can run in a pool worker."""
+    fixer = RTLFixer(config=unit.config)
+    model = GenerationModel(temperature=0.4, seed=unit.seed)
+    problem = unit.problem
+    outcome = ProblemOutcome(
+        problem_id=problem.id, difficulty=problem.difficulty,
+        n=unit.n_samples, correct_original=0, correct_fixed=0,
+        syntax_original=0, syntax_fixed=0, sim_original=0, sim_fixed=0,
+    )
+    for sample in model.sample_n(problem, unit.n_samples, unit.benchmark):
+        verdict = evaluate_sample(sample.raw, problem, samples=unit.sim_samples)
+        if verdict == "pass":
+            outcome.correct_original += 1
+            outcome.correct_fixed += 1
+        elif verdict == "sim":
+            outcome.sim_original += 1
+            outcome.sim_fixed += 1
+        else:
+            outcome.syntax_original += 1
+            fix = fixer.fix(sample.raw, description=problem.description(unit.benchmark))
+            if fix.success:
+                after = evaluate_code(fix.final_code, problem, samples=unit.sim_samples)
+            else:
+                after = "syntax"
+            if after == "pass":
+                outcome.correct_fixed += 1
+            elif after == "sim":
+                outcome.sim_fixed += 1
+            else:
+                outcome.syntax_fixed += 1
+    return outcome
+
+
 def run_table2(
     problems: ProblemSet,
     n_samples: int = 20,
@@ -234,46 +293,49 @@ def run_table2(
     sim_samples: int = 32,
     seed: int = 0,
     progress=None,
+    jobs: Optional[int] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> Table2Result:
-    """Pass@k before/after fixing syntax errors (§4.2, Table 2 + Fig. 4)."""
-    config = fixer_config or RTLFixerConfig()
-    fixer = RTLFixer(config=config)
-    model = GenerationModel(temperature=0.4, seed=seed)
-    result = Table2Result()
+    """Pass@k before/after fixing syntax errors (§4.2, Table 2 + Fig. 4).
 
+    Problems are independent work units: ``jobs`` fans them across a
+    :class:`~repro.runtime.ParallelRunner` with results identical to the
+    serial path.  ``progress`` receives ``(benchmark, done, total)`` per
+    completed problem.
+    """
+    config = fixer_config or RTLFixerConfig()
+    if runner is None:
+        runner = ParallelRunner(jobs=config.jobs if jobs is None else jobs)
+    problem_list = list(problems)
+    # Warm the compile cache with every golden reference up front: the
+    # serial path then never recompiles them, and process-pool workers
+    # inherit the warm cache through fork.
+    for problem in problem_list:
+        cached_compile(problem.reference)
+
+    units = [
+        _Table2Unit(
+            problem=problem, benchmark=benchmark, n_samples=n_samples,
+            sim_samples=sim_samples, config=config, seed=seed,
+        )
+        for benchmark in benchmarks
+        for problem in problem_list
+    ]
+    tick = None
+    if progress is not None:
+        done_per_bench = {benchmark: 0 for benchmark in benchmarks}
+
+        def tick(done, total, unit):
+            done_per_bench[unit.benchmark] += 1
+            progress(unit.benchmark, done_per_bench[unit.benchmark], len(problem_list))
+
+    outcomes = runner.map(_table2_problem_outcome, units, progress=tick)
+
+    result = Table2Result()
     for benchmark in benchmarks:
-        outcomes: list[ProblemOutcome] = []
-        for p_index, problem in enumerate(problems):
-            outcome = ProblemOutcome(
-                problem_id=problem.id, difficulty=problem.difficulty,
-                n=n_samples, correct_original=0, correct_fixed=0,
-                syntax_original=0, syntax_fixed=0, sim_original=0, sim_fixed=0,
-            )
-            for sample in model.sample_n(problem, n_samples, benchmark):
-                verdict = evaluate_sample(sample.raw, problem, samples=sim_samples)
-                if verdict == "pass":
-                    outcome.correct_original += 1
-                    outcome.correct_fixed += 1
-                elif verdict == "sim":
-                    outcome.sim_original += 1
-                    outcome.sim_fixed += 1
-                else:
-                    outcome.syntax_original += 1
-                    fix = fixer.fix(sample.raw, description=problem.description(benchmark))
-                    if fix.success:
-                        after = evaluate_code(fix.final_code, problem, samples=sim_samples)
-                    else:
-                        after = "syntax"
-                    if after == "pass":
-                        outcome.correct_fixed += 1
-                    elif after == "sim":
-                        outcome.sim_fixed += 1
-                    else:
-                        outcome.syntax_fixed += 1
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(benchmark, p_index + 1, len(problems))
-        result.outcomes[benchmark] = outcomes
+        result.outcomes[benchmark] = []
+    for unit, outcome in zip(units, outcomes):
+        result.outcomes[unit.benchmark].append(outcome)
     return result
 
 
@@ -305,42 +367,73 @@ class Table3Result:
         )
 
 
+@dataclass(frozen=True)
+class _Table3Unit:
+    """One per-problem Table 3 work unit."""
+
+    problem: Problem
+    n_samples: int
+    sim_samples: int
+    seed: int
+
+
+def _table3_problem_counts(unit: _Table3Unit) -> tuple[int, int, int, int, int]:
+    """Evaluate one RTLLM problem; returns ``(total, syntax_ok_before,
+    syntax_ok_after, c_before, c_after)``."""
+    fixer = RTLFixer()  # ReAct + RAG + Quartus, stock database
+    model = GenerationModel(temperature=0.4, seed=unit.seed)
+    problem = unit.problem
+    total = syntax_ok_before = syntax_ok_after = c_before = c_after = 0
+    for sample in model.sample_n(problem, unit.n_samples, "rtllm"):
+        total += 1
+        verdict = evaluate_sample(sample.raw, problem, samples=unit.sim_samples)
+        if verdict != "syntax":
+            syntax_ok_before += 1
+            syntax_ok_after += 1
+            if verdict == "pass":
+                c_before += 1
+                c_after += 1
+            continue
+        fix = fixer.fix(sample.raw, description=problem.human_desc)
+        if fix.success:
+            syntax_ok_after += 1
+            if evaluate_code(fix.final_code, problem, samples=unit.sim_samples) == "pass":
+                c_after += 1
+    return total, syntax_ok_before, syntax_ok_after, c_before, c_after
+
+
 def run_table3(
     problems: ProblemSet,
     n_samples: int = 10,
     sim_samples: int = 32,
     seed: int = 0,
     progress=None,
+    jobs: Optional[int] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> Table3Result:
     """Generalization to the RTLLM-style corpus *without* any new RAG
-    entries (§4.2, Table 3)."""
-    fixer = RTLFixer()  # ReAct + RAG + Quartus, stock database
-    model = GenerationModel(temperature=0.4, seed=seed)
+    entries (§4.2, Table 3).  ``jobs`` fans problems across workers."""
     result = Table3Result()
+    if runner is None:
+        runner = ParallelRunner(jobs=jobs)
+    problem_list = list(problems)
+    for problem in problem_list:
+        cached_compile(problem.reference)
+    units = [
+        _Table3Unit(
+            problem=problem, n_samples=n_samples, sim_samples=sim_samples, seed=seed
+        )
+        for problem in problem_list
+    ]
+    tick = None
+    if progress is not None:
+        tick = lambda done, total, unit: progress(done, total)  # noqa: E731
+    counts = runner.map(_table3_problem_counts, units, progress=tick)
 
-    syntax_ok_before = syntax_ok_after = 0
-    per_problem_pass: list[tuple[int, int, int]] = []  # (n, c_before, c_after)
-    total = 0
-    for p_index, problem in enumerate(problems):
-        c_before = c_after = 0
-        for sample in model.sample_n(problem, n_samples, "rtllm"):
-            total += 1
-            verdict = evaluate_sample(sample.raw, problem, samples=sim_samples)
-            if verdict != "syntax":
-                syntax_ok_before += 1
-                syntax_ok_after += 1
-                if verdict == "pass":
-                    c_before += 1
-                    c_after += 1
-                continue
-            fix = fixer.fix(sample.raw, description=problem.human_desc)
-            if fix.success:
-                syntax_ok_after += 1
-                if evaluate_code(fix.final_code, problem, samples=sim_samples) == "pass":
-                    c_after += 1
-        per_problem_pass.append((n_samples, c_before, c_after))
-        if progress is not None:
-            progress(p_index + 1, len(problems))
+    total = sum(c[0] for c in counts)
+    syntax_ok_before = sum(c[1] for c in counts)
+    syntax_ok_after = sum(c[2] for c in counts)
+    per_problem_pass = [(n_samples, c[3], c[4]) for c in counts]
 
     result.syntax_before = syntax_ok_before / total if total else 0.0
     result.syntax_after = syntax_ok_after / total if total else 0.0
@@ -390,11 +483,16 @@ class Figure7Result:
 
 
 def run_figure7(
-    dataset: SyntaxDataset, repeats: int = 10, progress=None
+    dataset: SyntaxDataset,
+    repeats: int = 10,
+    progress=None,
+    jobs: Optional[int] = None,
 ) -> Figure7Result:
     """Histogram of ReAct iterations needed per successful fix."""
     fixer = RTLFixer()  # the paper's headline config
-    run = run_fix_experiment(dataset, fixer, repeats=repeats, progress=progress)
+    run = run_fix_experiment(
+        dataset, fixer, repeats=repeats, progress=progress, jobs=jobs
+    )
     result = Figure7Result()
     for iterations in run.iterations:
         if iterations <= 0:
@@ -489,6 +587,46 @@ class SimFixExtensionResult:
         )
 
 
+@dataclass(frozen=True)
+class _SimFixUnit:
+    """One per-problem §5-extension work unit."""
+
+    problem: Problem
+    samples_per_problem: int
+    sim_samples: int
+    max_iterations: int
+    seed: int
+
+
+def _simfix_problem_counts(unit: _SimFixUnit) -> tuple[str, int, int]:
+    """Mutate and debug one problem; returns ``(difficulty, attempted,
+    fixed)``."""
+    from ..agents.simfix import SimDebugAgent
+    from ..dataset.mutate import force_behavior_change, mutate_logic
+    import random as _random
+
+    agent = SimDebugAgent(
+        max_iterations=unit.max_iterations, sim_samples=unit.sim_samples
+    )
+    problem = unit.problem
+    rng = _random.Random(f"simfix|{unit.seed}|{problem.id}")
+    attempted = fixed = 0
+    for trial in range(unit.samples_per_problem):
+        buggy = mutate_logic(problem.reference, rng)
+        if buggy == problem.reference:
+            forced = force_behavior_change(problem.reference)
+            if forced is None:
+                continue
+            buggy = forced
+        verdict = evaluate_code(buggy, problem, samples=unit.sim_samples)
+        if verdict != "sim":
+            continue  # accidentally equivalent (or broken) mutant
+        run = agent.run(buggy, problem.reference, difficulty=problem.difficulty)
+        attempted += 1
+        fixed += int(run.success)
+    return problem.difficulty, attempted, fixed
+
+
 def run_simfix_extension(
     problems: ProblemSet,
     samples_per_problem: int = 4,
@@ -496,34 +634,31 @@ def run_simfix_extension(
     max_iterations: int = 8,
     seed: int = 0,
     progress=None,
+    jobs: Optional[int] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> SimFixExtensionResult:
     """Generate logic-buggy (compiling, functionally wrong) samples and
-    let the simulation-debugging agent try to repair them."""
-    from ..agents.simfix import SimDebugAgent
-    from ..dataset.mutate import force_behavior_change, mutate_logic
-    import random as _random
-
-    agent = SimDebugAgent(max_iterations=max_iterations, sim_samples=sim_samples)
+    let the simulation-debugging agent try to repair them.  ``jobs``
+    fans problems across workers."""
     result = SimFixExtensionResult()
     counts: dict[str, list[int]] = {"easy": [0, 0], "hard": [0, 0]}
-
-    for p_index, problem in enumerate(problems):
-        rng = _random.Random(f"simfix|{seed}|{problem.id}")
-        for trial in range(samples_per_problem):
-            buggy = mutate_logic(problem.reference, rng)
-            if buggy == problem.reference:
-                forced = force_behavior_change(problem.reference)
-                if forced is None:
-                    continue
-                buggy = forced
-            verdict = evaluate_code(buggy, problem, samples=sim_samples)
-            if verdict != "sim":
-                continue  # accidentally equivalent (or broken) mutant
-            run = agent.run(buggy, problem.reference, difficulty=problem.difficulty)
-            counts[problem.difficulty][0] += 1
-            counts[problem.difficulty][1] += int(run.success)
-        if progress is not None:
-            progress(p_index + 1, len(problems))
+    if runner is None:
+        runner = ParallelRunner(jobs=jobs)
+    units = [
+        _SimFixUnit(
+            problem=problem, samples_per_problem=samples_per_problem,
+            sim_samples=sim_samples, max_iterations=max_iterations, seed=seed,
+        )
+        for problem in problems
+    ]
+    tick = None
+    if progress is not None:
+        tick = lambda done, total, unit: progress(done, total)  # noqa: E731
+    for difficulty, attempted, fixed in runner.map(
+        _simfix_problem_counts, units, progress=tick
+    ):
+        counts[difficulty][0] += attempted
+        counts[difficulty][1] += fixed
 
     for difficulty, (attempted, fixed) in counts.items():
         result.by_difficulty[difficulty] = (attempted, fixed)

@@ -15,6 +15,7 @@ from typing import Optional
 from ..dataset.corpus import verilogeval
 from ..dataset.curate import SyntaxDataset, build_syntax_dataset
 from ..dataset.rtllm import rtllm
+from ..runtime import CompileCache, use_compile_cache
 from .experiments import (
     PAPER_TABLE1,
     PAPER_TABLE2,
@@ -54,6 +55,9 @@ class FullReport:
     figure5: dict = field(default_factory=dict)
     figure6: dict = field(default_factory=dict)
     simfix: dict = field(default_factory=dict)
+    #: Compile-cache counters for the whole run (hits, misses,
+    #: evictions, compiles avoided) -- the runtime's observability.
+    cache: dict = field(default_factory=dict)
     rendered: dict = field(default_factory=dict)
 
     def to_json(self) -> str:
@@ -66,13 +70,14 @@ class FullReport:
             "figure7": {str(k): v for k, v in self.figure7.items()},
             "figure6": self.figure6,
             "simfix": self.simfix,
+            "cache": self.cache,
         }
         return json.dumps(payload, indent=2)
 
     def to_markdown(self) -> str:
         sections = ["# Reproduction report\n"]
         for name in ("table1", "table2", "table3", "figure4", "figure7",
-                     "figure6", "simfix"):
+                     "figure6", "simfix", "cache"):
             if name in self.rendered:
                 sections.append(f"## {name}\n\n```\n{self.rendered[name]}\n```\n")
         return "\n".join(sections)
@@ -82,9 +87,33 @@ def run_full_report(
     scale: Optional[ReportScale] = None,
     dataset: Optional[SyntaxDataset] = None,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> FullReport:
-    """Run every experiment and collect a paper-vs-measured report."""
+    """Run every experiment and collect a paper-vs-measured report.
+
+    The whole run executes under a fresh content-addressed compile cache
+    (its hit/miss/eviction counters land in ``report.cache``); ``jobs``
+    fans every driver's work units across that many workers (0 = all
+    CPUs) without changing any result.
+    """
     scale = scale or ReportScale()
+    cache = CompileCache()
+    with use_compile_cache(cache):
+        report = _run_experiments(scale, dataset, progress, jobs)
+    report.cache = cache.stats.as_dict()
+    report.rendered["cache"] = "\n".join(
+        f"{key}: {value}" for key, value in report.cache.items()
+    )
+    return report
+
+
+def _run_experiments(
+    scale: ReportScale,
+    dataset: Optional[SyntaxDataset],
+    progress,
+    jobs: Optional[int],
+) -> FullReport:
+    """The report body, executed under the report's compile cache."""
     report = FullReport(scale=scale)
 
     def tick(stage: str) -> None:
@@ -100,7 +129,9 @@ def run_full_report(
         )
 
     tick("Table 1")
-    t1 = run_table1(dataset, repeats=scale.repeats, include_gpt4=scale.include_gpt4)
+    t1 = run_table1(
+        dataset, repeats=scale.repeats, include_gpt4=scale.include_gpt4, jobs=jobs
+    )
     report.table1 = {
         key: {"measured": rate, "paper": PAPER_TABLE1.get(key)}
         for key, rate in t1.rates.items()
@@ -109,7 +140,8 @@ def run_full_report(
 
     tick("Table 2 / Figure 4")
     t2 = run_table2(
-        verilogeval(), n_samples=scale.n_samples, sim_samples=scale.sim_samples
+        verilogeval(), n_samples=scale.n_samples, sim_samples=scale.sim_samples,
+        jobs=jobs,
     )
     report.table2 = {
         f"{bench}/{subset}": {
@@ -139,7 +171,9 @@ def run_full_report(
     )
 
     tick("Table 3")
-    t3 = run_table3(rtllm(), n_samples=scale.n_samples, sim_samples=scale.sim_samples)
+    t3 = run_table3(
+        rtllm(), n_samples=scale.n_samples, sim_samples=scale.sim_samples, jobs=jobs
+    )
     report.table3 = {
         "syntax_before": t3.syntax_before, "syntax_after": t3.syntax_after,
         "pass1_before": t3.pass1_before, "pass1_after": t3.pass1_after,
@@ -148,7 +182,7 @@ def run_full_report(
     report.rendered["table3"] = t3.render()
 
     tick("Figure 7")
-    f7 = run_figure7(dataset, repeats=max(1, scale.repeats // 2))
+    f7 = run_figure7(dataset, repeats=max(1, scale.repeats // 2), jobs=jobs)
     report.figure7 = dict(f7.histogram)
     report.rendered["figure7"] = histogram_figure(f7.histogram)
 
@@ -164,6 +198,7 @@ def run_full_report(
         verilogeval(),
         samples_per_problem=scale.simfix_samples_per_problem,
         sim_samples=scale.sim_samples,
+        jobs=jobs,
     )
     report.simfix = {
         difficulty: {"attempted": attempted, "fixed": fixed}

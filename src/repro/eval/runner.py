@@ -2,22 +2,29 @@
 
 * :func:`run_fix_experiment` -- run a fixer configuration over the
   VerilogEval-syntax dataset with n repeated trials (the paper repeats
-  each experiment 10 times and reports the average fix rate).
+  each experiment 10 times and reports the average fix rate).  Trials
+  are independent, explicitly seeded work units, so they fan out across
+  a :class:`repro.runtime.ParallelRunner` (``jobs=``) with bit-identical
+  results to the serial path.
 * :func:`evaluate_sample` -- classify one raw LLM sample as pass /
   syntax-error / simulation-error using the rule-fixer, the compiler and
-  the differential testbench (the paper's evaluation flow).
+  the differential testbench (the paper's evaluation flow).  Both
+  evaluators route compilation through the content-addressed compile
+  cache, so a problem's golden reference is elaborated once -- not once
+  per sample.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Literal, Optional
 
+from ..core.config import RTLFixerConfig
 from ..core.fixer import RTLFixer
 from ..core.rulefix import rule_fix
 from ..dataset.curate import SyntaxDataset
 from ..dataset.problem import Problem
-from ..diagnostics import compile_source
+from ..runtime import ParallelRunner, cached_compile
 from ..sim import run_differential
 from .metrics import fix_rate
 
@@ -40,47 +47,102 @@ class FixExperimentResult:
         return fix_rate((c, self.trials) for c in self.fixed_counts)
 
 
+@dataclass(frozen=True)
+class _FixTrial:
+    """One (entry, trial) work unit, reconstructible in a worker."""
+
+    config: RTLFixerConfig
+    code: str
+    description: str
+    entry: int
+    trial: int
+
+
+def _run_fix_trial(unit: _FixTrial) -> tuple[bool, int]:
+    """Execute one trial: build the configured fixer with the trial's
+    seed and attempt the repair.  Top-level (and config-addressed) so
+    process-pool workers can unpickle and run it."""
+    fixer = RTLFixer(config=replace(unit.config, seed=unit.config.seed + unit.trial))
+    outcome = fixer.fix(unit.code, description=unit.description)
+    return outcome.success, outcome.iterations
+
+
 def run_fix_experiment(
     dataset: SyntaxDataset,
     fixer: RTLFixer,
     repeats: int = 10,
     progress: Optional[Callable[[int, int], None]] = None,
+    jobs: Optional[int] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> FixExperimentResult:
-    """Run ``fixer`` over every dataset entry ``repeats`` times."""
+    """Run ``fixer`` over every dataset entry ``repeats`` times.
+
+    ``progress`` fires per *trial* as ``progress(done, total)`` (long
+    runs surface liveness at the finest granularity).  ``jobs`` (default:
+    ``fixer.config.jobs``) fans trials across a
+    :class:`~repro.runtime.ParallelRunner`; pass ``runner`` to control
+    the backend.  Every trial derives its randomness from the explicit
+    ``(seed + trial)`` key, so parallel results are bit-identical to
+    serial ones.  Note the parallel path reconstructs the fixer from
+    ``fixer.config`` in each worker: custom ``model``/``database``
+    instances only take effect on the serial path.
+    """
     result = FixExperimentResult(label=fixer.config.label(), trials=repeats)
-    total = len(dataset)
-    for index, entry in enumerate(dataset):
-        fixed = 0
-        for trial in range(repeats):
-            outcome = fixer.with_seed(fixer.config.seed + trial).fix(
-                entry.code, description=entry.description
-            )
-            if outcome.success:
-                fixed += 1
-                result.iterations.append(outcome.iterations)
-        result.fixed_counts.append(fixed)
-        if progress is not None:
-            progress(index + 1, total)
+    entries = list(dataset)
+    if runner is None:
+        runner = ParallelRunner(jobs=fixer.config.jobs if jobs is None else jobs)
+
+    if runner.is_serial:
+        done = 0
+        total = len(entries) * repeats
+        for entry in entries:
+            fixed = 0
+            for trial in range(repeats):
+                outcome = fixer.with_seed(fixer.config.seed + trial).fix(
+                    entry.code, description=entry.description
+                )
+                if outcome.success:
+                    fixed += 1
+                    result.iterations.append(outcome.iterations)
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+            result.fixed_counts.append(fixed)
+        return result
+
+    units = [
+        _FixTrial(
+            config=fixer.config, code=entry.code, description=entry.description,
+            entry=index, trial=trial,
+        )
+        for index, entry in enumerate(entries)
+        for trial in range(repeats)
+    ]
+    tick = None
+    if progress is not None:
+        tick = lambda done, total, unit: progress(done, total)  # noqa: E731
+    outcomes = runner.map(_run_fix_trial, units, progress=tick)
+
+    counts = [0] * len(entries)
+    for unit, (success, iterations) in zip(units, outcomes):
+        if success:
+            counts[unit.entry] += 1
+            result.iterations.append(iterations)
+    result.fixed_counts = counts
     return result
 
 
 def evaluate_sample(raw: str, problem: Problem, samples: int = 32) -> Verdict:
     """Judge one raw LLM sample: does it compile, and does it match the
     golden model in differential simulation?"""
-    fixed = rule_fix(raw)
-    result = compile_source(fixed.code)
-    if not result.ok or result.elaborated is None:
-        return "syntax"
-    reference = compile_source(problem.reference).elaborated
-    diff = run_differential(result.elaborated, reference, samples=samples)
-    return "pass" if diff.passed else "sim"
+    return evaluate_code(rule_fix(raw).code, problem, samples=samples)
 
 
 def evaluate_code(code: str, problem: Problem, samples: int = 32) -> Verdict:
     """Like :func:`evaluate_sample` but for already-rule-fixed code."""
-    result = compile_source(code)
+    result = cached_compile(code)
     if not result.ok or result.elaborated is None:
         return "syntax"
-    reference = compile_source(problem.reference).elaborated
+    reference = cached_compile(problem.reference).elaborated
     diff = run_differential(result.elaborated, reference, samples=samples)
     return "pass" if diff.passed else "sim"

@@ -149,7 +149,9 @@ class SimulatedRepairSession:
 
     @staticmethod
     def _difficulty_delta(code: str) -> float:
-        result = compile_source(code)
+        from ..runtime.cache import cached_compile
+
+        result = cached_compile(code)
         categories = result.categories
         if not categories:
             return 0.0

@@ -1,0 +1,41 @@
+"""Runtime substrate: compile memoization + parallel experiment fan-out.
+
+Two pillars every experiment driver in :mod:`repro.eval` is built on:
+
+* :class:`CompileCache` / :func:`cached_compile` -- a content-addressed
+  (SHA-256 of source + flavor + includes), LRU-bounded, statistics-
+  tracking memo of ``compile_source`` results, with a process-wide
+  injection point so hot paths stop re-elaborating identical sources;
+* :class:`ParallelRunner` -- an ordered, deterministic ``map`` over
+  independent work units across serial / thread / process backends,
+  selected via ``RTLFixerConfig.jobs`` or the CLI ``--jobs`` flag.
+"""
+
+from .cache import (
+    DEFAULT_CACHE,
+    DEFAULT_MAXSIZE,
+    CacheStats,
+    CompileCache,
+    cached_compile,
+    compile_key,
+    get_active_cache,
+    no_compile_cache,
+    set_active_cache,
+    use_compile_cache,
+)
+from .executor import ParallelRunner, resolve_jobs
+
+__all__ = [
+    "CacheStats",
+    "CompileCache",
+    "DEFAULT_CACHE",
+    "DEFAULT_MAXSIZE",
+    "ParallelRunner",
+    "cached_compile",
+    "compile_key",
+    "get_active_cache",
+    "no_compile_cache",
+    "resolve_jobs",
+    "set_active_cache",
+    "use_compile_cache",
+]

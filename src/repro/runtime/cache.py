@@ -1,0 +1,273 @@
+"""Content-addressed compile cache.
+
+Every experiment in ``repro.eval`` is dominated by repeated
+compile/simulate cycles over a small working set of sources: the golden
+reference of each problem is recompiled for every one of thousands of
+``evaluate_sample`` calls, repeated trials re-feed the same broken entry
+to the compiler, and the simulated sampler emits byte-identical
+completions across runs.  ``compile_source`` is a pure function of
+``(code, name, flavor, include_files)``, so its results can be memoized
+behind a content address.
+
+:class:`CompileCache` keys results by a SHA-256 digest of exactly those
+inputs (the compiler *flavor* is part of the key: an iverilog-rendered
+and a Quartus-rendered result of the same source must never collide),
+holds them in an LRU-bounded map, and tracks hit/miss/eviction
+statistics so observability ships with the optimization.
+
+Injection point
+---------------
+
+A process-wide *active* cache is consulted by :func:`cached_compile`,
+which is what the hot paths (``repro.eval.runner``, the agents'
+``Compiler`` facade, the dataset curation pipeline, ...) call instead of
+``compile_source``.  The default active cache is enabled at import time;
+:func:`use_compile_cache` scopes a fresh (or no) cache to a ``with``
+block, and :func:`set_active_cache` swaps it explicitly:
+
+>>> with use_compile_cache() as cache:
+...     run_table2(problems)
+...     print(cache.stats.hits, cache.stats.misses)
+
+Caching changes no observable behaviour: compilation is deterministic,
+and results are treated as immutable by every consumer (the codebase
+already re-uses one elaborated design across many simulator instances).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import Counter, OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # runtime import is deferred to avoid a cycle with
+    # repro.diagnostics, whose Compiler facade routes through this cache.
+    from ..diagnostics.compiler import CompileResult
+
+#: Default LRU bound of a :class:`CompileCache`.  Full-scale experiment
+#: runs touch a few thousand distinct sources; elaborated designs for
+#: the corpus are small (a few KB each), so this keeps the whole working
+#: set resident without unbounded growth on adversarial workloads.
+DEFAULT_MAXSIZE = 4096
+
+
+def compile_key(
+    code: str,
+    name: str = "main.v",
+    flavor: str = "iverilog",
+    include_files: Optional[dict[str, str]] = None,
+) -> str:
+    """Content address of one compiler invocation.
+
+    A SHA-256 digest over every input ``compile_source`` consumes.  The
+    flavor participates in the key because the rendered feedback (and
+    the ``CompileResult.flavor`` attribute the agents read) differs per
+    flavor even when the diagnostics are identical.
+    """
+    hasher = hashlib.sha256()
+    for part in (flavor, name):
+        hasher.update(part.encode())
+        hasher.update(b"\x00")
+    for inc_name in sorted(include_files or {}):
+        hasher.update(inc_name.encode())
+        hasher.update(b"\x00")
+        hasher.update(include_files[inc_name].encode())  # type: ignore[index]
+        hasher.update(b"\x00")
+    hasher.update(code.encode())
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`CompileCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Per-content-address miss counts; a key with more than one miss
+    #: was recompiled after an eviction (or raced in a thread pool).
+    misses_by_key: Counter = field(default_factory=Counter)
+
+    @property
+    def lookups(self) -> int:
+        """Total cache consultations."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def compiles_avoided(self) -> int:
+        """Number of full front-end runs the cache saved (== hits)."""
+        return self.hits
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (used by ``run_full_report``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "compiles_avoided": self.compiles_avoided,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class CompileCache:
+    """LRU-bounded, thread-safe memo of ``compile_source`` results.
+
+    >>> cache = CompileCache(maxsize=512)
+    >>> result = cache.compile("module m; endmodule", flavor="quartus")
+    >>> cache.stats.misses, cache.stats.hits
+    (1, 0)
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CompileResult]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def compile(
+        self,
+        code: str,
+        name: str = "main.v",
+        flavor: str = "iverilog",
+        include_files: Optional[dict[str, str]] = None,
+    ) -> "CompileResult":
+        """Return the (possibly cached) result of compiling ``code``."""
+        key = compile_key(code, name=name, flavor=flavor, include_files=include_files)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+            self.stats.misses_by_key[key] += 1
+        # Compile outside the lock: concurrent misses on the same key may
+        # compile twice, but results are identical and the last one wins.
+        from ..diagnostics.compiler import compile_source
+
+        result = compile_source(
+            code, name=name, flavor=flavor, include_files=include_files
+        )
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return result
+
+    def contains(
+        self,
+        code: str,
+        name: str = "main.v",
+        flavor: str = "iverilog",
+        include_files: Optional[dict[str, str]] = None,
+    ) -> bool:
+        """Whether a result for this exact invocation is resident."""
+        key = compile_key(code, name=name, flavor=flavor, include_files=include_files)
+        with self._lock:
+            return key in self._entries
+
+    def misses_for(
+        self,
+        code: str,
+        name: str = "main.v",
+        flavor: str = "iverilog",
+        include_files: Optional[dict[str, str]] = None,
+    ) -> int:
+        """How many times this exact invocation missed (compiled)."""
+        key = compile_key(code, name=name, flavor=flavor, include_files=include_files)
+        with self._lock:
+            return self.stats.misses_by_key.get(key, 0)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the statistics."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+
+#: The process-wide default cache, active from import time so every
+#: caller of :func:`cached_compile` benefits without opting in.
+DEFAULT_CACHE = CompileCache()
+
+_active_cache: Optional[CompileCache] = DEFAULT_CACHE
+_active_lock = threading.Lock()
+
+
+def get_active_cache() -> Optional[CompileCache]:
+    """The cache :func:`cached_compile` currently consults (or None)."""
+    return _active_cache
+
+
+def set_active_cache(cache: Optional[CompileCache]) -> Optional[CompileCache]:
+    """Install ``cache`` as the active cache; returns the previous one.
+
+    Pass ``None`` to disable caching entirely (every
+    :func:`cached_compile` call falls through to ``compile_source``).
+    """
+    global _active_cache
+    with _active_lock:
+        previous = _active_cache
+        _active_cache = cache
+        return previous
+
+
+@contextmanager
+def use_compile_cache(
+    cache: Optional[CompileCache] = None, maxsize: int = DEFAULT_MAXSIZE
+) -> Iterator[CompileCache]:
+    """Scope a compile cache to a ``with`` block.
+
+    With no argument a fresh :class:`CompileCache` is created -- handy
+    for measuring exactly what one experiment compiles.  The previously
+    active cache is restored on exit.
+    """
+    scoped = cache if cache is not None else CompileCache(maxsize=maxsize)
+    previous = set_active_cache(scoped)
+    try:
+        yield scoped
+    finally:
+        set_active_cache(previous)
+
+
+@contextmanager
+def no_compile_cache() -> Iterator[None]:
+    """Disable compile caching inside a ``with`` block (cold-path
+    measurements, cache-bypass debugging)."""
+    previous = set_active_cache(None)
+    try:
+        yield
+    finally:
+        set_active_cache(previous)
+
+
+def cached_compile(
+    code: str,
+    name: str = "main.v",
+    flavor: str = "iverilog",
+    include_files: Optional[dict[str, str]] = None,
+) -> "CompileResult":
+    """Drop-in replacement for ``compile_source`` that consults the
+    active :class:`CompileCache` (and falls through when none is set)."""
+    cache = _active_cache
+    if cache is None:
+        from ..diagnostics.compiler import compile_source
+
+        return compile_source(
+            code, name=name, flavor=flavor, include_files=include_files
+        )
+    return cache.compile(code, name=name, flavor=flavor, include_files=include_files)

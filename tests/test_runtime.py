@@ -1,0 +1,266 @@
+"""Tests for the runtime subsystem: the content-addressed compile cache
+and the deterministic parallel experiment executor."""
+
+import os
+
+import pytest
+
+from repro.core.fixer import RTLFixer
+from repro.dataset import ProblemSet, build_syntax_dataset, verilogeval
+from repro.eval import run_table2
+from repro.eval.runner import run_fix_experiment
+from repro.runtime import (
+    CompileCache,
+    ParallelRunner,
+    cached_compile,
+    compile_key,
+    get_active_cache,
+    no_compile_cache,
+    resolve_jobs,
+    set_active_cache,
+    use_compile_cache,
+)
+
+GOOD = "module m(input a, output y);\nassign y = a;\nendmodule\n"
+BROKEN = (
+    "module top_module(input [7:0] in, output reg [7:0] out);\n"
+    "always @(posedge clk) out <= in;\nendmodule\n"
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return build_syntax_dataset(
+        verilogeval(), samples_per_problem=3, seed=0, target_size=12
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_problems():
+    full = verilogeval()
+    picked = [full.get(pid) for pid in ("mux2to1", "counter4_reset", "popcount8")]
+    return ProblemSet(name="tiny", problems=picked)
+
+
+class TestCompileKey:
+    def test_flavors_do_not_collide(self):
+        """iverilog and quartus renderings of the same source must be
+        distinct cache entries (the rendered feedback differs)."""
+        assert compile_key(BROKEN, flavor="iverilog") != compile_key(
+            BROKEN, flavor="quartus"
+        )
+
+    def test_name_and_includes_participate(self):
+        assert compile_key(GOOD, name="a.v") != compile_key(GOOD, name="b.v")
+        assert compile_key(GOOD) != compile_key(
+            GOOD, include_files={"inc.vh": "`define X 1\n"}
+        )
+
+    def test_stable_for_identical_inputs(self):
+        assert compile_key(GOOD) == compile_key(GOOD)
+
+
+class TestCompileCache:
+    def test_hit_miss_accounting(self):
+        cache = CompileCache()
+        first = cache.compile(GOOD)
+        second = cache.compile(GOOD)
+        assert first is second
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.compiles_avoided == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_flavor_distinguishes_results(self):
+        cache = CompileCache()
+        iv = cache.compile(BROKEN, flavor="iverilog")
+        qu = cache.compile(BROKEN, flavor="quartus")
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+        assert iv.flavor == "iverilog" and qu.flavor == "quartus"
+        assert iv.log != qu.log
+        assert "Error (10161)" in qu.log  # Quartus tag, iverilog has none
+        # Each flavor now hits its own entry.
+        assert cache.compile(BROKEN, flavor="quartus") is qu
+        assert cache.compile(BROKEN, flavor="iverilog") is iv
+
+    def test_lru_eviction(self):
+        cache = CompileCache(maxsize=2)
+        sources = [f"module m{i}; endmodule\n" for i in range(3)]
+        for source in sources:
+            cache.compile(source)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert not cache.contains(sources[0])  # oldest entry evicted
+        cache.compile(sources[0])
+        assert cache.misses_for(sources[0]) == 2  # recompiled after eviction
+
+    def test_lru_recency_order(self):
+        cache = CompileCache(maxsize=2)
+        a, b, c = (f"module r{i}; endmodule\n" for i in range(3))
+        cache.compile(a)
+        cache.compile(b)
+        cache.compile(a)  # refresh a; b is now the LRU entry
+        cache.compile(c)
+        assert cache.contains(a) and cache.contains(c) and not cache.contains(b)
+
+    def test_clear_resets(self):
+        cache = CompileCache()
+        cache.compile(GOOD)
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.lookups == 0
+
+    def test_rejects_silly_maxsize(self):
+        with pytest.raises(ValueError):
+            CompileCache(maxsize=0)
+
+
+class TestActiveCachePlumbing:
+    def test_default_cache_active(self):
+        assert get_active_cache() is not None
+
+    def test_use_compile_cache_scopes_and_restores(self):
+        before = get_active_cache()
+        with use_compile_cache() as cache:
+            assert get_active_cache() is cache
+            cached_compile(GOOD)
+            assert cache.stats.misses == 1
+        assert get_active_cache() is before
+
+    def test_no_compile_cache_disables(self):
+        with no_compile_cache():
+            assert get_active_cache() is None
+            result = cached_compile(GOOD)  # falls through, still compiles
+            assert result.ok
+
+    def test_set_active_cache_returns_previous(self):
+        fresh = CompileCache()
+        previous = set_active_cache(fresh)
+        try:
+            assert get_active_cache() is fresh
+        finally:
+            set_active_cache(previous)
+
+
+class TestParallelRunner:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_auto_backend_selection(self):
+        assert ParallelRunner(jobs=1).is_serial
+        runner = ParallelRunner(jobs=4)
+        assert runner.backend == "process" and not runner.is_serial
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=2, backend="fibers")
+
+    def test_map_preserves_submission_order(self):
+        for backend in ("serial", "thread", "process"):
+            runner = ParallelRunner(jobs=3, backend=backend)
+            assert runner.map(_square, range(20)) == [i * i for i in range(20)]
+
+    def test_progress_reports_every_unit(self):
+        events = []
+        runner = ParallelRunner(jobs=2, backend="thread")
+        runner.map(_square, range(7), progress=lambda d, t, item: events.append((d, t)))
+        assert [d for d, _ in events] == list(range(1, 8))
+        assert all(t == 7 for _, t in events)
+
+    def test_worker_exceptions_propagate(self):
+        runner = ParallelRunner(jobs=2, backend="thread")
+        with pytest.raises(ZeroDivisionError):
+            runner.map(_reciprocal, [1, 0, 2])
+
+
+class TestDeterminism:
+    """Parallel execution must be bit-identical to serial at equal seed."""
+
+    def test_fix_experiment_parallel_matches_serial(self, tiny_dataset):
+        fixer = RTLFixer()
+        serial = run_fix_experiment(tiny_dataset, fixer, repeats=2)
+        parallel = run_fix_experiment(
+            tiny_dataset, fixer, repeats=2,
+            runner=ParallelRunner(jobs=4, backend="process"),
+        )
+        assert parallel.fixed_counts == serial.fixed_counts
+        assert parallel.iterations == serial.iterations
+        assert parallel.rate == serial.rate
+        assert parallel.label == serial.label and parallel.trials == serial.trials
+
+    def test_fix_experiment_thread_backend_matches_serial(self, tiny_dataset):
+        fixer = RTLFixer(prompting="oneshot", compiler="iverilog", use_rag=False)
+        serial = run_fix_experiment(tiny_dataset, fixer, repeats=2)
+        threaded = run_fix_experiment(
+            tiny_dataset, fixer, repeats=2,
+            runner=ParallelRunner(jobs=3, backend="thread"),
+        )
+        assert threaded.fixed_counts == serial.fixed_counts
+        assert threaded.iterations == serial.iterations
+
+    def test_table2_parallel_matches_serial(self, tiny_problems):
+        serial = run_table2(tiny_problems, n_samples=4, sim_samples=8)
+        parallel = run_table2(tiny_problems, n_samples=4, sim_samples=8, jobs=4)
+        for benchmark in serial.outcomes:
+            assert [vars(o) for o in parallel.outcomes[benchmark]] == [
+                vars(o) for o in serial.outcomes[benchmark]
+            ]
+
+    def test_jobs_zero_means_all_cpus(self, tiny_dataset):
+        fixer = RTLFixer()
+        serial = run_fix_experiment(tiny_dataset, fixer, repeats=1)
+        auto = run_fix_experiment(tiny_dataset, fixer, repeats=1, jobs=0)
+        assert auto.fixed_counts == serial.fixed_counts
+
+
+class TestPerTrialProgress:
+    def test_serial_progress_is_per_trial(self, tiny_dataset):
+        events = []
+        fixer = RTLFixer()
+        run_fix_experiment(
+            tiny_dataset, fixer, repeats=2,
+            progress=lambda done, total: events.append((done, total)),
+        )
+        total = len(tiny_dataset) * 2
+        assert len(events) == total
+        assert events == [(i + 1, total) for i in range(total)]
+
+    def test_parallel_progress_is_per_trial(self, tiny_dataset):
+        events = []
+        fixer = RTLFixer()
+        run_fix_experiment(
+            tiny_dataset, fixer, repeats=2,
+            runner=ParallelRunner(jobs=4, backend="process"),
+            progress=lambda done, total: events.append((done, total)),
+        )
+        total = len(tiny_dataset) * 2
+        assert [d for d, _ in events] == list(range(1, total + 1))
+
+
+class TestReferenceCompilationCaching:
+    def test_table2_compiles_each_reference_once(self, tiny_problems):
+        with use_compile_cache() as cache:
+            run_table2(tiny_problems, n_samples=4, sim_samples=8)
+            for problem in tiny_problems:
+                assert cache.misses_for(problem.reference) == 1, problem.id
+
+    def test_warm_table2_rerun_has_zero_redundant_compiles(self, tiny_problems):
+        with use_compile_cache() as cache:
+            run_table2(tiny_problems, n_samples=4, sim_samples=8)
+            cold_misses = cache.stats.misses
+            run_table2(tiny_problems, n_samples=4, sim_samples=8)
+            assert cache.stats.misses == cold_misses
+            assert cache.stats.hits > cold_misses
+
+
+def _square(x: int) -> int:
+    """Square (top-level so process-pool workers can pickle it)."""
+    return x * x
+
+
+def _reciprocal(x: int) -> float:
+    """1/x, used to exercise worker-exception propagation."""
+    return 1 / x
