@@ -7,9 +7,19 @@
 #   scripts/bench.sh --all           # every bench    -> BENCH_all.json
 #   REPRO_BENCH_PROFILE=paper scripts/bench.sh   # full paper protocol
 #
+# The chaos (fault-injection) suite runs first: perf numbers for a
+# runtime whose failure paths are broken are not worth recording.
+# Skip it with REPRO_BENCH_SKIP_CHAOS=1.
+#
 # Extra pytest arguments can follow the optional --all flag.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${REPRO_BENCH_SKIP_CHAOS:-0}" != "1" ]]; then
+    echo "running fault-injection (chaos) suite..."
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest tests/test_faults.py -m chaos -q
+fi
 
 profile="${REPRO_BENCH_PROFILE:-quick}"
 target="benchmarks/test_bench_runtime.py"

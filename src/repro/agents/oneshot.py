@@ -13,7 +13,7 @@ from typing import Optional
 from ..diagnostics import Compiler
 from ..llm.base import RepairModel
 from ..rag.retrievers import Retriever
-from .react import AgentResult
+from .react import AgentResult, record_rule_fix
 from .transcript import Transcript
 
 
@@ -38,13 +38,16 @@ class OneShotAgent:
         # cycle (repro.core.fixer builds agents)
 
         transcript = Transcript()
+        rule_fixed = False
         if self.apply_rule_fix:
-            code = rule_fix(code).code
+            rule_result = rule_fix(code)
+            rule_fixed = record_rule_fix(transcript, code, rule_result)
+            code = rule_result.code
 
         result = self.compiler.compile(code)
         if result.ok:
             return AgentResult(success=True, final_code=code, iterations=0,
-                               transcript=transcript)
+                               transcript=transcript, rule_fixed=rule_fixed)
 
         feedback = result.log
         guidance = []
@@ -64,5 +67,5 @@ class OneShotAgent:
         )
         return AgentResult(
             success=final.ok, final_code=step.code, iterations=1,
-            transcript=transcript,
+            transcript=transcript, rule_fixed=rule_fixed,
         )

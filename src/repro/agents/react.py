@@ -30,6 +30,11 @@ class AgentResult:
     #: input already compiled).
     iterations: int
     transcript: Transcript = field(default_factory=Transcript)
+    #: True when the rule-based pre-fixer materially changed the code
+    #: before any model involvement.  A success with ``iterations == 0``
+    #: and ``rule_fixed`` is a *rule-based repair*, not a clean input --
+    #: Table 1 accounting must not conflate the two.
+    rule_fixed: bool = False
 
     @property
     def gave_up(self) -> bool:
@@ -60,17 +65,25 @@ class ReActAgent:
         # cycle (repro.core.fixer builds agents)
 
         transcript = Transcript()
+        rule_fixed = False
         if self.apply_rule_fix:
-            code = rule_fix(code).code
+            rule_result = rule_fix(code)
+            rule_fixed = record_rule_fix(transcript, code, rule_result)
+            code = rule_result.code
 
         result = self.compiler.compile(code)
         if result.ok:
             transcript.add(
-                thought="The module compiles cleanly; no repair needed.",
+                thought=(
+                    "The rule-based fixes made the module compile cleanly; "
+                    "no model repair needed."
+                    if rule_fixed
+                    else "The module compiles cleanly; no repair needed."
+                ),
                 action="Finish", action_input="answer", observation="",
             )
             return AgentResult(success=True, final_code=code, iterations=0,
-                               transcript=transcript)
+                               transcript=transcript, rule_fixed=rule_fixed)
 
         session = self.model.start(
             code, flavor=self.compiler.flavor, use_rag=self.retriever is not None
@@ -108,11 +121,39 @@ class ReActAgent:
                     action="Finish", action_input="answer", observation="",
                 )
                 return AgentResult(success=True, final_code=code,
-                                   iterations=iterations, transcript=transcript)
+                                   iterations=iterations, transcript=transcript,
+                                   rule_fixed=rule_fixed)
             if step.declared_done:
                 break
         return AgentResult(success=False, final_code=code,
-                           iterations=iterations, transcript=transcript)
+                           iterations=iterations, transcript=transcript,
+                           rule_fixed=rule_fixed)
+
+
+def record_rule_fix(transcript: Transcript, original: str, rule_result) -> bool:
+    """Record a rule-based pre-fix as its own transcript step.
+
+    Returns True (and appends a ``RuleFix`` turn) only when the
+    pre-fixer *materially* changed the code -- whitespace-only trims do
+    not count, so clean inputs still short-circuit with a lone
+    ``Finish`` turn.
+    """
+    if rule_result.code.strip() == original.strip():
+        return False
+    notes = []
+    if rule_result.extracted_from_markdown:
+        notes.append("extracted the Verilog from the surrounding text")
+    if rule_result.moved_timescale:
+        notes.append("hoisted the `timescale directive to the file top")
+    if not notes:
+        notes.append("normalized the module text")
+    transcript.add(
+        thought="Apply the rule-based pre-fixer before consulting the model.",
+        action="RuleFix",
+        action_input=_head(original),
+        observation="; ".join(notes),
+    )
+    return True
 
 
 def _head(code: str, lines: int = 3) -> str:

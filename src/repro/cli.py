@@ -27,6 +27,8 @@ def _cmd_fix(args: argparse.Namespace) -> int:
         use_rag=not args.no_rag and args.compiler != "simple",
         tier=args.tier,
         seed=args.seed,
+        max_retries=args.max_retries,
+        step_timeout=args.step_timeout,
     )
     result = fixer.fix(code)
     if args.transcript:
@@ -103,6 +105,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     report = run_full_report(
         scale=scale,
         jobs=args.jobs,
+        on_error=args.on_error,
         progress=lambda stage: print(f"[{stage}]", file=sys.stderr),
     )
     if args.json:
@@ -119,6 +122,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"(hit rate {stats['hit_rate']:.1%})",
         file=sys.stderr,
     )
+    if args.on_error == "collect":
+        detail = ", ".join(f"{k}={v}" for k, v in report.failures.items())
+        print(
+            f"# failures: {report.failed_units} work unit(s) isolated "
+            f"({detail})",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -141,6 +151,16 @@ def build_parser() -> argparse.ArgumentParser:
     fix.add_argument("--seed", type=int, default=0)
     fix.add_argument("--transcript", action="store_true",
                      help="print the ReAct Thought/Action/Observation trace")
+    fix.add_argument(
+        "--max-retries", type=int, default=2,
+        help="bounded retries for transient model faults, with "
+        "deterministic exponential backoff (0 disables the retry layer)",
+    )
+    fix.add_argument(
+        "--step-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-model-call timeout budget; over-budget calls count as "
+        "retryable timeouts (default: unlimited)",
+    )
     fix.set_defaults(func=_cmd_fix)
 
     comp = sub.add_parser("compile", help="compile and show diagnostics")
@@ -164,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_job_count, default=1,
         help="parallel workers for experiment fan-out "
         "(1 = serial, 0 = all CPUs; results are identical at any job count)",
+    )
+    rep.add_argument(
+        "--on-error", choices=["raise", "collect"], default="raise",
+        help="failure handling for experiment work units: 'raise' aborts "
+        "on the first failure (pending units are cancelled), 'collect' "
+        "isolates failed units as per-unit failure records and finishes "
+        "the run (counts are reported per stage)",
     )
     rep.add_argument("--json", metavar="OUT",
                      help="write the report as JSON here instead of markdown")

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..agents.react import DEFAULT_MAX_ITERATIONS
 
@@ -30,6 +31,20 @@ class RTLFixerConfig:
     #: changes results -- trials are seeded explicitly, so a parallel run
     #: is bit-identical to a serial run at the same seed.
     jobs: int = 1
+    #: Bounded retries for transient model/compiler faults (timeouts,
+    #: injected chaos, API hiccups).  0 disables the retry layer; N
+    #: allows N re-tries with deterministic exponential backoff
+    #: (repro.runtime.RetryPolicy).  Retries never change results on the
+    #: happy path -- only TransientError faults are retried.
+    max_retries: int = 2
+    #: Per-model-call timeout budget in seconds (None = unlimited).
+    #: Over-budget calls count as retryable timeouts.
+    step_timeout: Optional[float] = None
+    #: Experiment-level failure handling: "raise" aborts the run on the
+    #: first failed work unit (pending units are cancelled); "collect"
+    #: isolates failures as per-unit WorkFailure records so one poisoned
+    #: trial cannot sink a full Table 1 run.
+    on_error: str = "raise"
 
     def __post_init__(self) -> None:
         if self.prompting not in ("react", "oneshot"):
@@ -45,6 +60,14 @@ class RTLFixerConfig:
             raise ValueError("max_iterations must be >= 1")
         if self.jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = all CPUs)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0 (0 disables retries)")
+        if self.step_timeout is not None and self.step_timeout <= 0:
+            raise ValueError("step_timeout must be > 0 seconds (or None)")
+        if self.on_error not in ("raise", "collect"):
+            raise ValueError(
+                f"on_error must be raise|collect, got {self.on_error!r}"
+            )
 
     def label(self) -> str:
         """Human-readable configuration summary for reports."""

@@ -1,7 +1,11 @@
 """RTLFixer: the public entry point of the framework (paper §3.1).
 
 Wires together the compiler facade, the RAG database + retriever, the
-(simulated or API-backed) LLM, and the chosen prompting strategy.
+(simulated or API-backed) LLM, and the chosen prompting strategy.  When
+``config.max_retries > 0`` (the default) the model and compiler handed
+to the agent are wrapped in the runtime's retry layer, so transient
+faults (timeouts, injected chaos, API hiccups) are retried with
+deterministic backoff instead of killing the whole debugging run.
 
 >>> from repro.core import RTLFixer
 >>> fixer = RTLFixer()                       # ReAct + RAG + Quartus
@@ -22,6 +26,7 @@ from ..llm.simulated import SimulatedLLM
 from ..rag.database import GuidanceDatabase
 from ..rag.guidance_data import build_default_database
 from ..rag.retrievers import Retriever, make_retriever
+from ..runtime.retry import RetryingCompiler, RetryingRepairModel, RetryPolicy
 from .config import RTLFixerConfig
 
 
@@ -44,9 +49,23 @@ class RTLFixer:
         self.config = config
         self.compiler = Compiler(flavor=config.compiler)
         self.database = database or build_default_database()
+        self._injected_model = model
         self.model: RepairModel = model or SimulatedLLM(
             tier=config.tier, temperature=config.temperature, seed=config.seed
         )
+
+        # Robustness seams: only TransientError faults are ever retried,
+        # so wrapping is bit-identical to not wrapping on the happy path.
+        agent_model: RepairModel = self.model
+        agent_compiler = self.compiler
+        if config.max_retries > 0 or config.step_timeout is not None:
+            policy = RetryPolicy(
+                max_retries=config.max_retries,
+                timeout=config.step_timeout,
+                seed=config.seed,
+            )
+            agent_model = RetryingRepairModel(agent_model, policy)
+            agent_compiler = RetryingCompiler(agent_compiler, policy)
 
         self.retriever: Optional[Retriever] = None
         if config.use_rag:
@@ -56,19 +75,27 @@ class RTLFixer:
 
         if config.prompting == "react":
             self.agent = ReActAgent(
-                model=self.model,
-                compiler=self.compiler,
+                model=agent_model,
+                compiler=agent_compiler,
                 retriever=self.retriever,
                 max_iterations=config.max_iterations,
                 apply_rule_fix=config.apply_rule_fix,
             )
         else:
             self.agent = OneShotAgent(
-                model=self.model,
-                compiler=self.compiler,
+                model=agent_model,
+                compiler=agent_compiler,
                 retriever=self.retriever,
                 apply_rule_fix=config.apply_rule_fix,
             )
+
+    @property
+    def injected_model(self) -> Optional[RepairModel]:
+        """The caller-provided model, or ``None`` when this fixer built
+        its own :class:`~repro.llm.simulated.SimulatedLLM` from config.
+        Experiment drivers use this to carry custom models into
+        parallel workers."""
+        return self._injected_model
 
     def fix(self, code: str, description: str = "") -> AgentResult:
         """Debug one erroneous implementation until it compiles (or the
@@ -77,8 +104,20 @@ class RTLFixer:
 
     def with_seed(self, seed: int) -> "RTLFixer":
         """A copy of this fixer with a different sampling seed (used for
-        the paper's n=10 repeated trials)."""
+        the paper's n=10 repeated trials).
+
+        A caller-injected model is carried through: it is re-seeded via
+        its own ``with_seed`` when it has one (every bundled model
+        does), or reused as-is otherwise -- it is never silently
+        replaced by a fresh default model.
+        """
+        model = self._injected_model
+        if model is not None:
+            reseed = getattr(model, "with_seed", None)
+            if callable(reseed):
+                model = reseed(seed)
         return RTLFixer(
             config=dataclasses.replace(self.config, seed=seed),
+            model=model,
             database=self.database,
         )

@@ -47,3 +47,36 @@ class RetrievalError(ReproError):
 
 class LLMError(ReproError):
     """An LLM client failed (bad configuration, missing backend)."""
+
+
+class TransientError(ReproError):
+    """A fault that may clear on retry (network hiccup, rate limit,
+    injected chaos).  :mod:`repro.runtime.retry` retries exactly this
+    family; everything else propagates immediately."""
+
+
+class LLMTimeoutError(TransientError, LLMError):
+    """A model call exceeded its per-call timeout budget.
+
+    Retryable: timeouts are the canonical transient fault of API-backed
+    backends (see :class:`repro.runtime.retry.RetryPolicy`).
+    """
+
+
+class InjectedFault(TransientError):
+    """A fault raised deliberately by the chaos harness
+    (:mod:`repro.runtime.faults`), never by production code paths."""
+
+
+class RetryExhaustedError(ReproError):
+    """A retried call kept failing past its retry budget.
+
+    Carries the attempt count and the last underlying error, so failure
+    collectors (``ParallelRunner.map(on_error="collect")``) can report
+    the root cause per work unit.
+    """
+
+    def __init__(self, message: str, attempts: int, last_error: Exception | None = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error

@@ -24,7 +24,7 @@ from ..dataset.curate import SyntaxDataset, build_syntax_dataset
 from ..dataset.generate import GenerationModel
 from ..dataset.problem import Problem, ProblemSet
 from ..diagnostics import compile_source
-from ..runtime import ParallelRunner, cached_compile
+from ..runtime import ParallelRunner, WorkFailure, cached_compile
 from .metrics import pass_at_k_single
 from .runner import FixExperimentResult, evaluate_code, evaluate_sample, run_fix_experiment
 from .tables import render_table
@@ -73,6 +73,11 @@ class Table1Result:
     rates: dict[tuple[str, str, bool], float] = field(default_factory=dict)
     details: dict[tuple[str, str, bool], FixExperimentResult] = field(default_factory=dict)
 
+    @property
+    def failed_units(self) -> int:
+        """Total failed work units across all cells (``on_error="collect"``)."""
+        return sum(len(run.failures) for run in self.details.values())
+
     def render(self) -> str:
         rows = []
         for prompting in ("oneshot", "react", "oneshot-gpt4", "react-gpt4"):
@@ -106,10 +111,13 @@ def run_table1(
     max_iterations: int = 10,
     progress=None,
     jobs: Optional[int] = None,
+    on_error: Optional[str] = None,
 ) -> Table1Result:
     """Fix rate for One-shot vs ReAct, w/ and w/o RAG, across feedback
     qualities, plus the GPT-4 ablation column (§4.2, §4.3).  ``jobs``
-    fans each configuration's trials across workers."""
+    fans each configuration's trials across workers; ``on_error``
+    selects abort-vs-isolate semantics for failed trials (see
+    :func:`~repro.eval.runner.run_fix_experiment`)."""
     result = Table1Result()
     grid: list[tuple[str, str, str, bool]] = []
     for prompting in ("oneshot", "react"):
@@ -130,7 +138,8 @@ def run_table1(
             tier=tier, max_iterations=max_iterations,
         )
         run = run_fix_experiment(
-            dataset, fixer, repeats=repeats, progress=progress, jobs=jobs
+            dataset, fixer, repeats=repeats, progress=progress, jobs=jobs,
+            on_error=on_error,
         )
         result.rates[(label, compiler, rag)] = run.rate
         result.details[(label, compiler, rag)] = run
@@ -160,6 +169,9 @@ class Table2Result:
     #: benchmark -> list of per-problem outcomes
     outcomes: dict[str, list[ProblemOutcome]] = field(default_factory=dict)
     easy_threshold: float = 0.1
+    #: failed (benchmark, problem) work units under ``on_error="collect"``
+    #: (excluded from the aggregates above).
+    failures: list[WorkFailure] = field(default_factory=list)
 
     # -- aggregation -------------------------------------------------------
 
@@ -295,15 +307,19 @@ def run_table2(
     progress=None,
     jobs: Optional[int] = None,
     runner: Optional[ParallelRunner] = None,
+    on_error: Optional[str] = None,
 ) -> Table2Result:
     """Pass@k before/after fixing syntax errors (§4.2, Table 2 + Fig. 4).
 
     Problems are independent work units: ``jobs`` fans them across a
     :class:`~repro.runtime.ParallelRunner` with results identical to the
     serial path.  ``progress`` receives ``(benchmark, done, total)`` per
-    completed problem.
+    completed problem.  ``on_error`` (default: the fixer config's
+    setting) selects abort-vs-isolate handling of failed problems.
     """
     config = fixer_config or RTLFixerConfig()
+    if on_error is None:
+        on_error = config.on_error
     if runner is None:
         runner = ParallelRunner(jobs=config.jobs if jobs is None else jobs)
     problem_list = list(problems)
@@ -329,12 +345,17 @@ def run_table2(
             done_per_bench[unit.benchmark] += 1
             progress(unit.benchmark, done_per_bench[unit.benchmark], len(problem_list))
 
-    outcomes = runner.map(_table2_problem_outcome, units, progress=tick)
+    outcomes = runner.map(
+        _table2_problem_outcome, units, progress=tick, on_error=on_error
+    )
 
     result = Table2Result()
     for benchmark in benchmarks:
         result.outcomes[benchmark] = []
     for unit, outcome in zip(units, outcomes):
+        if isinstance(outcome, WorkFailure):
+            result.failures.append(outcome)
+            continue
         result.outcomes[unit.benchmark].append(outcome)
     return result
 
@@ -350,6 +371,9 @@ class Table3Result:
     syntax_after: float = 0.0
     pass1_before: float = 0.0
     pass1_after: float = 0.0
+    #: failed per-problem work units under ``on_error="collect"``
+    #: (excluded from the rates above).
+    failures: list[WorkFailure] = field(default_factory=list)
 
     def render(self) -> str:
         rows = [
@@ -410,9 +434,11 @@ def run_table3(
     progress=None,
     jobs: Optional[int] = None,
     runner: Optional[ParallelRunner] = None,
+    on_error: str = "raise",
 ) -> Table3Result:
     """Generalization to the RTLLM-style corpus *without* any new RAG
-    entries (§4.2, Table 3).  ``jobs`` fans problems across workers."""
+    entries (§4.2, Table 3).  ``jobs`` fans problems across workers;
+    ``on_error="collect"`` isolates failed problems instead of aborting."""
     result = Table3Result()
     if runner is None:
         runner = ParallelRunner(jobs=jobs)
@@ -428,7 +454,17 @@ def run_table3(
     tick = None
     if progress is not None:
         tick = lambda done, total, unit: progress(done, total)  # noqa: E731
-    counts = runner.map(_table3_problem_counts, units, progress=tick)
+    outcomes = runner.map(
+        _table3_problem_counts, units, progress=tick, on_error=on_error
+    )
+    counts = []
+    for outcome in outcomes:
+        if isinstance(outcome, WorkFailure):
+            result.failures.append(outcome)
+        else:
+            counts.append(outcome)
+    if not counts:
+        return result
 
     total = sum(c[0] for c in counts)
     syntax_ok_before = sum(c[1] for c in counts)
@@ -455,6 +491,8 @@ def run_table3(
 class Figure7Result:
     #: iteration count -> number of successful repairs taking that many
     histogram: dict[int, int] = field(default_factory=dict)
+    #: failed trials under ``on_error="collect"`` (not in the histogram).
+    failures: list[WorkFailure] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -487,13 +525,15 @@ def run_figure7(
     repeats: int = 10,
     progress=None,
     jobs: Optional[int] = None,
+    on_error: Optional[str] = None,
 ) -> Figure7Result:
     """Histogram of ReAct iterations needed per successful fix."""
     fixer = RTLFixer()  # the paper's headline config
     run = run_fix_experiment(
-        dataset, fixer, repeats=repeats, progress=progress, jobs=jobs
+        dataset, fixer, repeats=repeats, progress=progress, jobs=jobs,
+        on_error=on_error,
     )
-    result = Figure7Result()
+    result = Figure7Result(failures=list(run.failures))
     for iterations in run.iterations:
         if iterations <= 0:
             continue  # already compiling, not a repair
@@ -568,6 +608,8 @@ class SimFixExtensionResult:
 
     #: difficulty -> (attempted, fixed)
     by_difficulty: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: failed per-problem work units under ``on_error="collect"``.
+    failures: list[WorkFailure] = field(default_factory=list)
 
     def fix_rate(self, difficulty: str) -> float:
         attempted, fixed = self.by_difficulty.get(difficulty, (0, 0))
@@ -636,10 +678,12 @@ def run_simfix_extension(
     progress=None,
     jobs: Optional[int] = None,
     runner: Optional[ParallelRunner] = None,
+    on_error: str = "raise",
 ) -> SimFixExtensionResult:
     """Generate logic-buggy (compiling, functionally wrong) samples and
     let the simulation-debugging agent try to repair them.  ``jobs``
-    fans problems across workers."""
+    fans problems across workers; ``on_error="collect"`` isolates
+    failed problems instead of aborting."""
     result = SimFixExtensionResult()
     counts: dict[str, list[int]] = {"easy": [0, 0], "hard": [0, 0]}
     if runner is None:
@@ -654,9 +698,13 @@ def run_simfix_extension(
     tick = None
     if progress is not None:
         tick = lambda done, total, unit: progress(done, total)  # noqa: E731
-    for difficulty, attempted, fixed in runner.map(
-        _simfix_problem_counts, units, progress=tick
+    for outcome in runner.map(
+        _simfix_problem_counts, units, progress=tick, on_error=on_error
     ):
+        if isinstance(outcome, WorkFailure):
+            result.failures.append(outcome)
+            continue
+        difficulty, attempted, fixed = outcome
         counts[difficulty][0] += attempted
         counts[difficulty][1] += fixed
 

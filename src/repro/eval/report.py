@@ -58,7 +58,15 @@ class FullReport:
     #: Compile-cache counters for the whole run (hits, misses,
     #: evictions, compiles avoided) -- the runtime's observability.
     cache: dict = field(default_factory=dict)
+    #: stage -> number of failed work units (nonzero only under
+    #: ``on_error="collect"``; an aborting run never gets here).
+    failures: dict = field(default_factory=dict)
     rendered: dict = field(default_factory=dict)
+
+    @property
+    def failed_units(self) -> int:
+        """Total failed work units across every experiment stage."""
+        return sum(self.failures.values())
 
     def to_json(self) -> str:
         payload = {
@@ -71,13 +79,14 @@ class FullReport:
             "figure6": self.figure6,
             "simfix": self.simfix,
             "cache": self.cache,
+            "failures": self.failures,
         }
         return json.dumps(payload, indent=2)
 
     def to_markdown(self) -> str:
         sections = ["# Reproduction report\n"]
         for name in ("table1", "table2", "table3", "figure4", "figure7",
-                     "figure6", "simfix", "cache"):
+                     "figure6", "simfix", "cache", "failures"):
             if name in self.rendered:
                 sections.append(f"## {name}\n\n```\n{self.rendered[name]}\n```\n")
         return "\n".join(sections)
@@ -88,22 +97,29 @@ def run_full_report(
     dataset: Optional[SyntaxDataset] = None,
     progress=None,
     jobs: Optional[int] = None,
+    on_error: str = "raise",
 ) -> FullReport:
     """Run every experiment and collect a paper-vs-measured report.
 
     The whole run executes under a fresh content-addressed compile cache
     (its hit/miss/eviction counters land in ``report.cache``); ``jobs``
     fans every driver's work units across that many workers (0 = all
-    CPUs) without changing any result.
+    CPUs) without changing any result.  ``on_error="collect"`` turns on
+    failure isolation: failed work units are recorded per stage in
+    ``report.failures`` instead of aborting the whole report.
     """
     scale = scale or ReportScale()
     cache = CompileCache()
     with use_compile_cache(cache):
-        report = _run_experiments(scale, dataset, progress, jobs)
+        report = _run_experiments(scale, dataset, progress, jobs, on_error)
     report.cache = cache.stats.as_dict()
     report.rendered["cache"] = "\n".join(
         f"{key}: {value}" for key, value in report.cache.items()
     )
+    report.rendered["failures"] = "\n".join(
+        f"{stage}: {count} failed work unit(s)"
+        for stage, count in report.failures.items()
+    ) + f"\ntotal: {report.failed_units}"
     return report
 
 
@@ -112,6 +128,7 @@ def _run_experiments(
     dataset: Optional[SyntaxDataset],
     progress,
     jobs: Optional[int],
+    on_error: str,
 ) -> FullReport:
     """The report body, executed under the report's compile cache."""
     report = FullReport(scale=scale)
@@ -130,8 +147,10 @@ def _run_experiments(
 
     tick("Table 1")
     t1 = run_table1(
-        dataset, repeats=scale.repeats, include_gpt4=scale.include_gpt4, jobs=jobs
+        dataset, repeats=scale.repeats, include_gpt4=scale.include_gpt4, jobs=jobs,
+        on_error=on_error,
     )
+    report.failures["table1"] = t1.failed_units
     report.table1 = {
         key: {"measured": rate, "paper": PAPER_TABLE1.get(key)}
         for key, rate in t1.rates.items()
@@ -141,8 +160,9 @@ def _run_experiments(
     tick("Table 2 / Figure 4")
     t2 = run_table2(
         verilogeval(), n_samples=scale.n_samples, sim_samples=scale.sim_samples,
-        jobs=jobs,
+        jobs=jobs, on_error=on_error,
     )
+    report.failures["table2"] = len(t2.failures)
     report.table2 = {
         f"{bench}/{subset}": {
             "pass@1": t2.pass_at(bench, subset, 1, False),
@@ -172,8 +192,10 @@ def _run_experiments(
 
     tick("Table 3")
     t3 = run_table3(
-        rtllm(), n_samples=scale.n_samples, sim_samples=scale.sim_samples, jobs=jobs
+        rtllm(), n_samples=scale.n_samples, sim_samples=scale.sim_samples, jobs=jobs,
+        on_error=on_error,
     )
+    report.failures["table3"] = len(t3.failures)
     report.table3 = {
         "syntax_before": t3.syntax_before, "syntax_after": t3.syntax_after,
         "pass1_before": t3.pass1_before, "pass1_after": t3.pass1_after,
@@ -182,7 +204,10 @@ def _run_experiments(
     report.rendered["table3"] = t3.render()
 
     tick("Figure 7")
-    f7 = run_figure7(dataset, repeats=max(1, scale.repeats // 2), jobs=jobs)
+    f7 = run_figure7(
+        dataset, repeats=max(1, scale.repeats // 2), jobs=jobs, on_error=on_error
+    )
+    report.failures["figure7"] = len(f7.failures)
     report.figure7 = dict(f7.histogram)
     report.rendered["figure7"] = histogram_figure(f7.histogram)
 
@@ -199,7 +224,9 @@ def _run_experiments(
         samples_per_problem=scale.simfix_samples_per_problem,
         sim_samples=scale.sim_samples,
         jobs=jobs,
+        on_error=on_error,
     )
+    report.failures["simfix"] = len(simfix.failures)
     report.simfix = {
         difficulty: {"attempted": attempted, "fixed": fixed}
         for difficulty, (attempted, fixed) in simfix.by_difficulty.items()

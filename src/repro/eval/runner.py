@@ -24,7 +24,8 @@ from ..core.fixer import RTLFixer
 from ..core.rulefix import rule_fix
 from ..dataset.curate import SyntaxDataset
 from ..dataset.problem import Problem
-from ..runtime import ParallelRunner, cached_compile
+from ..llm.base import RepairModel
+from ..runtime import ParallelRunner, WorkFailure, cached_compile
 from ..sim import run_differential
 from .metrics import fix_rate
 
@@ -41,6 +42,10 @@ class FixExperimentResult:
     fixed_counts: list[int] = field(default_factory=list)
     #: iterations used in each *successful* trial (feeds Fig. 7)
     iterations: list[int] = field(default_factory=list)
+    #: failed work units under ``on_error="collect"``, ordered by unit
+    #: index (``entry * trials + trial``).  A failed trial counts as
+    #: not-fixed in ``rate`` -- failure isolation must not inflate it.
+    failures: list[WorkFailure] = field(default_factory=list)
 
     @property
     def rate(self) -> float:
@@ -49,20 +54,32 @@ class FixExperimentResult:
 
 @dataclass(frozen=True)
 class _FixTrial:
-    """One (entry, trial) work unit, reconstructible in a worker."""
+    """One (entry, trial) work unit, reconstructible in a worker.
+
+    ``model`` carries a caller-injected repair model (chaos wrappers,
+    custom backends) into the worker; ``None`` means the worker builds
+    the config-default model itself.
+    """
 
     config: RTLFixerConfig
     code: str
     description: str
     entry: int
     trial: int
+    model: Optional[RepairModel] = None
 
 
 def _run_fix_trial(unit: _FixTrial) -> tuple[bool, int]:
     """Execute one trial: build the configured fixer with the trial's
     seed and attempt the repair.  Top-level (and config-addressed) so
     process-pool workers can unpickle and run it."""
-    fixer = RTLFixer(config=replace(unit.config, seed=unit.config.seed + unit.trial))
+    seed = unit.config.seed + unit.trial
+    model = unit.model
+    if model is not None:
+        reseed = getattr(model, "with_seed", None)
+        if callable(reseed):
+            model = reseed(seed)
+    fixer = RTLFixer(config=replace(unit.config, seed=seed), model=model)
     outcome = fixer.fix(unit.code, description=unit.description)
     return outcome.success, outcome.iterations
 
@@ -74,6 +91,7 @@ def run_fix_experiment(
     progress: Optional[Callable[[int, int], None]] = None,
     jobs: Optional[int] = None,
     runner: Optional[ParallelRunner] = None,
+    on_error: Optional[str] = None,
 ) -> FixExperimentResult:
     """Run ``fixer`` over every dataset entry ``repeats`` times.
 
@@ -83,10 +101,17 @@ def run_fix_experiment(
     :class:`~repro.runtime.ParallelRunner`; pass ``runner`` to control
     the backend.  Every trial derives its randomness from the explicit
     ``(seed + trial)`` key, so parallel results are bit-identical to
-    serial ones.  Note the parallel path reconstructs the fixer from
-    ``fixer.config`` in each worker: custom ``model``/``database``
-    instances only take effect on the serial path.
+    serial ones.  A caller-injected ``model`` is carried into parallel
+    workers (and re-seeded per trial); a custom ``database`` still only
+    takes effect on the serial path.
+
+    ``on_error`` (default: ``fixer.config.on_error``) selects failure
+    handling: ``"raise"`` aborts on the first failed trial, ``"collect"``
+    records failed trials as :class:`~repro.runtime.WorkFailure` entries
+    in ``result.failures`` (counted as not-fixed) and keeps going.
     """
+    if on_error is None:
+        on_error = fixer.config.on_error
     result = FixExperimentResult(label=fixer.config.label(), trials=repeats)
     entries = list(dataset)
     if runner is None:
@@ -95,13 +120,21 @@ def run_fix_experiment(
     if runner.is_serial:
         done = 0
         total = len(entries) * repeats
-        for entry in entries:
+        for index, entry in enumerate(entries):
             fixed = 0
             for trial in range(repeats):
-                outcome = fixer.with_seed(fixer.config.seed + trial).fix(
-                    entry.code, description=entry.description
-                )
-                if outcome.success:
+                try:
+                    outcome = fixer.with_seed(fixer.config.seed + trial).fix(
+                        entry.code, description=entry.description
+                    )
+                except Exception as exc:
+                    if on_error != "collect":
+                        raise
+                    result.failures.append(
+                        WorkFailure.from_exception(index * repeats + trial, entry, exc)
+                    )
+                    outcome = None
+                if outcome is not None and outcome.success:
                     fixed += 1
                     result.iterations.append(outcome.iterations)
                 done += 1
@@ -113,7 +146,7 @@ def run_fix_experiment(
     units = [
         _FixTrial(
             config=fixer.config, code=entry.code, description=entry.description,
-            entry=index, trial=trial,
+            entry=index, trial=trial, model=fixer.injected_model,
         )
         for index, entry in enumerate(entries)
         for trial in range(repeats)
@@ -121,10 +154,14 @@ def run_fix_experiment(
     tick = None
     if progress is not None:
         tick = lambda done, total, unit: progress(done, total)  # noqa: E731
-    outcomes = runner.map(_run_fix_trial, units, progress=tick)
+    outcomes = runner.map(_run_fix_trial, units, progress=tick, on_error=on_error)
 
     counts = [0] * len(entries)
-    for unit, (success, iterations) in zip(units, outcomes):
+    for unit, outcome in zip(units, outcomes):
+        if isinstance(outcome, WorkFailure):
+            result.failures.append(outcome)
+            continue
+        success, iterations = outcome
         if success:
             counts[unit.entry] += 1
             result.iterations.append(iterations)

@@ -121,6 +121,12 @@ class SimulatedLLM:
     def name(self) -> str:
         return self.tier
 
+    def with_seed(self, seed: int) -> "SimulatedLLM":
+        """A copy of this model with a different sampling seed (same
+        tier and temperature) -- the per-trial re-seeding hook used by
+        ``RTLFixer.with_seed`` for the paper's repeated trials."""
+        return SimulatedLLM(tier=self.tier, temperature=self.temperature, seed=seed)
+
     def start(self, code: str, flavor: str, use_rag: bool) -> "SimulatedRepairSession":
         return SimulatedRepairSession(self, code, flavor, use_rag)
 

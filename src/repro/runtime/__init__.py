@@ -1,6 +1,6 @@
-"""Runtime substrate: compile memoization + parallel experiment fan-out.
+"""Runtime substrate: compile memoization, parallel fan-out, robustness.
 
-Two pillars every experiment driver in :mod:`repro.eval` is built on:
+The pillars every experiment driver in :mod:`repro.eval` is built on:
 
 * :class:`CompileCache` / :func:`cached_compile` -- a content-addressed
   (SHA-256 of source + flavor + includes), LRU-bounded, statistics-
@@ -8,7 +8,15 @@ Two pillars every experiment driver in :mod:`repro.eval` is built on:
   injection point so hot paths stop re-elaborating identical sources;
 * :class:`ParallelRunner` -- an ordered, deterministic ``map`` over
   independent work units across serial / thread / process backends,
-  selected via ``RTLFixerConfig.jobs`` or the CLI ``--jobs`` flag.
+  selected via ``RTLFixerConfig.jobs`` or the CLI ``--jobs`` flag, with
+  failure isolation (``on_error="collect"`` -> :class:`WorkFailure`
+  records) or prompt aborts (``on_error="raise"`` cancels pending work);
+* :class:`RetryPolicy` + the ``Retrying*`` wrappers -- bounded retries
+  with deterministic, seeded exponential backoff around the LLM and
+  compiler seams;
+* :class:`FaultInjector` + the ``Chaos*`` wrappers -- deterministic
+  fault injection so every failure path above is testable at a fixed
+  seed.
 """
 
 from .cache import (
@@ -23,18 +31,46 @@ from .cache import (
     set_active_cache,
     use_compile_cache,
 )
-from .executor import ParallelRunner, resolve_jobs
+from .executor import ParallelRunner, WorkFailure, partition_failures, resolve_jobs
+from .faults import (
+    GARBAGE_CODE,
+    ChaosCompiler,
+    ChaosLLMClient,
+    ChaosRepairModel,
+    FaultInjector,
+    FaultSpec,
+)
+from .retry import (
+    RetryingCompiler,
+    RetryingLLMClient,
+    RetryingRepairModel,
+    RetryPolicy,
+    call_with_retry,
+)
 
 __all__ = [
     "CacheStats",
+    "ChaosCompiler",
+    "ChaosLLMClient",
+    "ChaosRepairModel",
     "CompileCache",
     "DEFAULT_CACHE",
     "DEFAULT_MAXSIZE",
+    "FaultInjector",
+    "FaultSpec",
+    "GARBAGE_CODE",
     "ParallelRunner",
+    "RetryPolicy",
+    "RetryingCompiler",
+    "RetryingLLMClient",
+    "RetryingRepairModel",
+    "WorkFailure",
     "cached_compile",
+    "call_with_retry",
     "compile_key",
     "get_active_cache",
     "no_compile_cache",
+    "partition_failures",
     "resolve_jobs",
     "set_active_cache",
     "use_compile_cache",

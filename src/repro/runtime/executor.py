@@ -22,24 +22,101 @@ Backends:
 
 The worker count comes from ``RTLFixerConfig.jobs`` / the CLI
 ``--jobs`` flag; ``jobs=0`` means "all CPUs".
+
+Failure handling (``on_error``):
+
+* ``"raise"``  (default) -- the first worker exception aborts the run:
+  pending work units are cancelled so the failure surfaces promptly,
+  and the exception propagates to the caller;
+* ``"collect"`` -- failure isolation: a failing unit becomes a
+  :class:`WorkFailure` record in its result slot and the remaining
+  units keep running.  One poisoned trial must not sink a 2120-trial
+  Table 1 run; callers split the mixed result list with
+  :func:`partition_failures`.
 """
 
 from __future__ import annotations
 
 import os
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
-from typing import Callable, Iterable, Literal, Optional, TypeVar
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Literal, Optional, TypeVar, Union
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 Backend = Literal["auto", "serial", "thread", "process"]
+OnError = Literal["raise", "collect"]
 
 #: ``progress(done, total, item)`` -- invoked after every completed work
 #: unit with the just-finished input item (per-trial liveness for long
 #: runs; completion order is nondeterministic under parallel backends,
 #: result order is not).
 ProgressFn = Callable[[int, int, object], None]
+
+_REPR_LIMIT = 200
+
+
+@dataclass(frozen=True)
+class WorkFailure:
+    """One failed work unit, recorded instead of raised.
+
+    Equality ignores the traceback and item repr (they differ in
+    formatting between backends); ``(index, error_type, message)`` is
+    the deterministic identity a fixed seed must reproduce.
+    """
+
+    #: Submission index of the failed unit (its slot in the result list).
+    index: int
+    #: Exception class name, e.g. ``"RetryExhaustedError"``.
+    error_type: str
+    #: ``str(exception)`` of the failure.
+    message: str
+    #: Truncated ``repr`` of the work unit (diagnostics only).
+    item_repr: str = field(default="", compare=False)
+    #: Formatted traceback when available (diagnostics only).
+    traceback: str = field(default="", compare=False)
+
+    @classmethod
+    def from_exception(cls, index: int, item: object, exc: BaseException) -> "WorkFailure":
+        """Build a failure record from a caught worker exception."""
+        item_repr = repr(item)
+        if len(item_repr) > _REPR_LIMIT:
+            item_repr = item_repr[: _REPR_LIMIT - 3] + "..."
+        return cls(
+            index=index,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            item_repr=item_repr,
+            traceback="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return f"unit {self.index}: {self.error_type}: {self.message}"
+
+
+def partition_failures(
+    results: list[Union[R, WorkFailure]],
+) -> tuple[list[Optional[R]], list[WorkFailure]]:
+    """Split a ``map(on_error="collect")`` result list.
+
+    Returns ``(values, failures)`` where ``values`` keeps submission
+    order with ``None`` in failed slots, and ``failures`` is ordered by
+    submission index.
+    """
+    values: list[Optional[R]] = []
+    failures: list[WorkFailure] = []
+    for result in results:
+        if isinstance(result, WorkFailure):
+            values.append(None)
+            failures.append(result)
+        else:
+            values.append(result)
+    return values, failures
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -79,21 +156,34 @@ class ParallelRunner:
         fn: Callable[[T], R],
         items: Iterable[T],
         progress: Optional[ProgressFn] = None,
-    ) -> list[R]:
+        on_error: OnError = "raise",
+    ) -> list[Union[R, WorkFailure]]:
         """Apply ``fn`` to every item; results keep submission order.
 
         Work units are scheduled eagerly and collected as they complete
         (so ``progress`` reports real liveness), but the returned list
         is indexed by submission order -- identical to the serial path
-        regardless of completion interleaving.  The first worker
-        exception propagates to the caller.
+        regardless of completion interleaving.
+
+        ``on_error="raise"`` propagates the first worker exception after
+        cancelling all still-pending units (a failed run aborts promptly
+        instead of draining the queue).  ``on_error="collect"`` isolates
+        failures: the failing unit's slot holds a :class:`WorkFailure`
+        and every other unit still runs.
         """
+        if on_error not in ("raise", "collect"):
+            raise ValueError(f"on_error must be raise|collect, got {on_error!r}")
         items = list(items)
         total = len(items)
         if self.is_serial or total <= 1:
-            results: list[R] = []
+            results: list[Union[R, WorkFailure]] = []
             for index, item in enumerate(items):
-                results.append(fn(item))
+                try:
+                    results.append(fn(item))
+                except Exception as exc:
+                    if on_error == "raise":
+                        raise
+                    results.append(WorkFailure.from_exception(index, item, exc))
                 if progress is not None:
                     progress(index + 1, total, item)
             return results
@@ -101,15 +191,32 @@ class ParallelRunner:
         executor_cls = (
             ProcessPoolExecutor if self.backend == "process" else ThreadPoolExecutor
         )
-        slots: list[Optional[R]] = [None] * total
+        slots: list[Union[R, WorkFailure, None]] = [None] * total
         workers = min(self.jobs, total)
         with executor_cls(max_workers=workers) as pool:
             futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
             done = 0
-            for future in as_completed(futures):
-                index = futures[future]
-                slots[index] = future.result()
-                done += 1
-                if progress is not None:
-                    progress(done, total, items[index])
+            try:
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        slots[index] = future.result()
+                    except Exception as exc:
+                        if on_error == "raise":
+                            raise
+                        slots[index] = WorkFailure.from_exception(
+                            index, items[index], exc
+                        )
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, items[index])
+            except BaseException:
+                # Abort promptly: drop every not-yet-started unit so the
+                # pool shutdown only waits on the (few) in-flight ones,
+                # then let the failure propagate (cancel_futures
+                # semantics -- see satellite bugfix).
+                for pending in futures:
+                    pending.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
         return slots  # type: ignore[return-value]

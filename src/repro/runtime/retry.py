@@ -1,0 +1,271 @@
+"""Bounded retries with deterministic exponential backoff.
+
+Every future API-backed backend shares the same failure profile: calls
+that time out, rate-limit, or hiccup transiently.  This module gives the
+agent stack one uniform answer:
+
+* :class:`RetryPolicy` -- how often to retry, how long to back off
+  (exponential with *seeded* jitter, so a retry schedule is reproducible
+  at a fixed seed), and an optional per-call timeout budget;
+* :func:`call_with_retry` -- run a callable under a policy, retrying
+  only :class:`repro.errors.TransientError` faults;
+* :class:`RetryingRepairModel` / :class:`RetryingLLMClient` /
+  :class:`RetryingCompiler` -- transparent wrappers that apply a policy
+  around ``RepairModel.start``/``step``, ``LLMClient.complete`` and
+  ``Compiler.compile`` respectively.
+
+Determinism: backoff delays derive from ``random.Random(seed | key)``,
+never from wall-clock entropy, so tests can assert the exact schedule.
+The timeout budget is *cooperative* -- the wrapped call runs to
+completion and its elapsed time is checked against the budget (callers
+with genuinely preemptible transports should also pass the budget down
+to the transport).  An over-budget call counts as a retryable
+:class:`repro.errors.LLMTimeoutError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator, Optional, TypeVar
+
+from ..errors import LLMTimeoutError, RetryExhaustedError, TransientError
+
+if TYPE_CHECKING:  # typing only: keep the runtime layer import-light
+    from ..diagnostics.compiler import CompileResult
+    from ..llm.base import ChatMessage, RepairStep
+
+T = TypeVar("T")
+
+#: Injectable sleep/clock hooks (tests pass fakes for instant runs).
+SleepFn = Callable[[float], None]
+ClockFn = Callable[[], float]
+
+
+def _digest(text: str) -> str:
+    """Short stable digest used to key backoff schedules by content."""
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget + deterministic backoff schedule.
+
+    ``max_retries`` counts *re*-tries: a call gets ``max_retries + 1``
+    attempts total.  ``timeout`` is the per-call budget in seconds
+    (``None`` = unlimited).  The delay before retry ``i`` is
+    ``base_delay * 2**i`` capped at ``max_delay``, scaled by a seeded
+    jitter factor in ``[1 - jitter/2, 1 + jitter/2]``.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    timeout: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    def with_seed(self, seed: int) -> "RetryPolicy":
+        """The same policy with a different jitter seed."""
+        from dataclasses import replace
+
+        return replace(self, seed=seed)
+
+    def delays(self, key: str = "") -> Iterator[float]:
+        """The exact backoff schedule for ``key`` -- ``max_retries``
+        delays, deterministic at a fixed ``(seed, key)``."""
+        rng = random.Random(f"backoff|{self.seed}|{key}")
+        for attempt in range(self.max_retries):
+            delay = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+            yield delay * (1.0 - self.jitter / 2.0 + self.jitter * rng.random())
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    key: str = "",
+    sleep: SleepFn = time.sleep,
+    clock: ClockFn = time.monotonic,
+) -> T:
+    """Run ``fn`` under ``policy``; retry transient faults, bounded.
+
+    Only :class:`~repro.errors.TransientError` (and subclasses, e.g.
+    timeouts and injected chaos) trigger a retry -- anything else is a
+    real bug and propagates unchanged.  When the budget runs out the
+    last transient fault is wrapped in
+    :class:`~repro.errors.RetryExhaustedError`.
+    """
+    schedule = policy.delays(key)
+    attempts = 0
+    last: Optional[Exception] = None
+    while True:
+        attempts += 1
+        started = clock()
+        try:
+            result = fn()
+        except TransientError as exc:
+            last = exc
+        else:
+            elapsed = clock() - started
+            if policy.timeout is None or elapsed <= policy.timeout:
+                return result
+            last = LLMTimeoutError(
+                f"call took {elapsed:.3f}s, budget is {policy.timeout:.3f}s"
+            )
+        if attempts > policy.max_retries:
+            raise RetryExhaustedError(
+                f"gave up after {attempts} attempt(s): {last}",
+                attempts=attempts,
+                last_error=last,
+            ) from last
+        sleep(next(schedule, policy.max_delay))
+
+
+class RetryingRepairModel:
+    """A :class:`~repro.llm.base.RepairModel` wrapper that retries
+    ``start`` and every session ``step`` under a :class:`RetryPolicy`.
+
+    Transparent on the happy path: a model that never raises behaves
+    bit-identically wrapped or not (no sleeps, no extra calls).
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy,
+        sleep: SleepFn = time.sleep,
+        clock: ClockFn = time.monotonic,
+    ):
+        self.inner = inner
+        self.policy = policy
+        self._sleep = sleep
+        self._clock = clock
+
+    @property
+    def name(self) -> str:
+        """The wrapped model's name (the wrapper is an implementation
+        detail, not a different model)."""
+        return self.inner.name
+
+    def with_seed(self, seed: int) -> "RetryingRepairModel":
+        """Re-seed both the wrapped model (when it supports it) and the
+        backoff jitter."""
+        inner = self.inner
+        reseed = getattr(inner, "with_seed", None)
+        if callable(reseed):
+            inner = reseed(seed)
+        return RetryingRepairModel(
+            inner, self.policy.with_seed(seed), sleep=self._sleep, clock=self._clock
+        )
+
+    def start(self, code: str, flavor: str, use_rag: bool) -> "RetryingRepairSession":
+        """Open a session on the wrapped model, retrying transient
+        failures of ``start`` itself."""
+        session = call_with_retry(
+            lambda: self.inner.start(code, flavor, use_rag),
+            self.policy,
+            key=f"start|{_digest(code)}",
+            sleep=self._sleep,
+            clock=self._clock,
+        )
+        return RetryingRepairSession(session, self.policy, self._sleep, self._clock)
+
+
+class RetryingRepairSession:
+    """Session counterpart of :class:`RetryingRepairModel`."""
+
+    def __init__(self, inner, policy: RetryPolicy, sleep: SleepFn, clock: ClockFn):
+        self.inner = inner
+        self.policy = policy
+        self._sleep = sleep
+        self._clock = clock
+
+    def step(self, code: str, feedback: str, guidance: list) -> "RepairStep":
+        """One retried model turn (keyed by turn content, so the backoff
+        schedule is reproducible per call site)."""
+        return call_with_retry(
+            lambda: self.inner.step(code, feedback, guidance),
+            self.policy,
+            key=f"step|{_digest(code)}|{_digest(feedback)}",
+            sleep=self._sleep,
+            clock=self._clock,
+        )
+
+
+class RetryingLLMClient:
+    """An :class:`~repro.llm.base.LLMClient` wrapper retrying
+    ``complete`` -- the raw-API analogue of
+    :class:`RetryingRepairModel` for API-backed backends
+    (see :mod:`repro.llm.openai_stub`)."""
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy,
+        sleep: SleepFn = time.sleep,
+        clock: ClockFn = time.monotonic,
+    ):
+        self.inner = inner
+        self.policy = policy
+        self._sleep = sleep
+        self._clock = clock
+
+    def complete(self, messages: list["ChatMessage"], temperature: float = 0.4) -> str:
+        """One retried chat completion."""
+        key = "complete|" + _digest("|".join(m.content for m in messages))
+        return call_with_retry(
+            lambda: self.inner.complete(messages, temperature=temperature),
+            self.policy,
+            key=key,
+            sleep=self._sleep,
+            clock=self._clock,
+        )
+
+
+class RetryingCompiler:
+    """Compiler-facade wrapper retrying ``compile``.
+
+    The in-process compiler is deterministic and never raises transient
+    faults, so this is a no-op in production; it exists so chaos tests
+    can exercise the *agent's* behaviour when a compile service flakes
+    (the deployment shape every API-backed backend will have).
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy,
+        sleep: SleepFn = time.sleep,
+        clock: ClockFn = time.monotonic,
+    ):
+        self.inner = inner
+        self.policy = policy
+        self._sleep = sleep
+        self._clock = clock
+
+    @property
+    def flavor(self) -> str:
+        """The wrapped compiler's feedback flavour."""
+        return self.inner.flavor
+
+    def compile(self, code: str) -> "CompileResult":
+        """One retried compiler invocation."""
+        return call_with_retry(
+            lambda: self.inner.compile(code),
+            self.policy,
+            key=f"compile|{_digest(code)}",
+            sleep=self._sleep,
+            clock=self._clock,
+        )

@@ -1,0 +1,535 @@
+"""Fault-injection (chaos) suite: retry/backoff, deterministic fault
+injection, failure-isolating parallel runs, and regression tests for the
+seed-cloning / executor-shutdown / rule-fix-accounting bugfixes.
+
+Everything here is marked ``chaos`` so ``scripts/bench.sh`` (and
+``pytest -m chaos``) can run the fault paths as a selectable suite.
+"""
+
+import time
+
+import pytest
+
+from repro.agents.react import ReActAgent
+from repro.core import RTLFixer, RTLFixerConfig
+from repro.dataset import build_syntax_dataset, verilogeval
+from repro.diagnostics import Compiler
+from repro.errors import (
+    InjectedFault,
+    LLMTimeoutError,
+    RetryExhaustedError,
+    TransientError,
+)
+from repro.eval.runner import run_fix_experiment
+from repro.llm import SimulatedLLM
+from repro.llm.base import RepairStep
+from repro.runtime import (
+    GARBAGE_CODE,
+    ChaosCompiler,
+    ChaosLLMClient,
+    ChaosRepairModel,
+    FaultInjector,
+    FaultSpec,
+    ParallelRunner,
+    RetryingCompiler,
+    RetryingRepairModel,
+    RetryPolicy,
+    WorkFailure,
+    call_with_retry,
+    partition_failures,
+)
+
+pytestmark = pytest.mark.chaos
+
+BROKEN = (
+    "module top_module(input [7:0] in, output reg [7:0] out);\n"
+    "always @(posedge clk) out <= in;\nendmodule\n"
+)
+GOOD = "module m(input a, output y);\nassign y = a;\nendmodule\n"
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return build_syntax_dataset(
+        verilogeval(), samples_per_problem=3, seed=0, target_size=12
+    )
+
+
+class _FlakyModel:
+    """RepairModel whose ``step`` raises transiently N times, then
+    delegates to a SimulatedLLM."""
+
+    def __init__(self, failures: int, seed: int = 0):
+        self.failures = failures
+        self.remaining = failures
+        self.inner = SimulatedLLM(seed=seed)
+        self.seed = seed
+
+    name = "flaky"
+
+    def with_seed(self, seed):
+        return _FlakyModel(self.failures, seed=seed)
+
+    def start(self, code, flavor, use_rag):
+        self.session = self.inner.start(code, flavor, use_rag)
+        return self
+
+    def step(self, code, feedback, guidance):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise InjectedFault("flaky step")
+        return self.session.step(code, feedback, guidance)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy / call_with_retry
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_backoff_deterministic_at_fixed_seed(self):
+        policy = RetryPolicy(max_retries=5, seed=42)
+        assert list(policy.delays("k")) == list(policy.delays("k"))
+
+    def test_backoff_varies_with_seed_and_key(self):
+        a = list(RetryPolicy(max_retries=5, seed=1).delays("k"))
+        b = list(RetryPolicy(max_retries=5, seed=2).delays("k"))
+        c = list(RetryPolicy(max_retries=5, seed=1).delays("other"))
+        assert a != b and a != c
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_retries=8, base_delay=0.1, max_delay=1.0, jitter=0.0, seed=0
+        )
+        delays = list(policy.delays())
+        assert delays[:4] == pytest.approx([0.1, 0.2, 0.4, 0.8])
+        assert all(d <= 1.0 for d in delays)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(max_retries=20, base_delay=1.0, max_delay=1.0, jitter=0.5)
+        for delay in policy.delays("j"):
+            assert 0.75 <= delay <= 1.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0)
+
+
+class TestCallWithRetry:
+    def test_happy_path_never_sleeps(self):
+        sleeps = []
+        result = call_with_retry(
+            lambda: 7, RetryPolicy(max_retries=3), sleep=sleeps.append
+        )
+        assert result == 7 and sleeps == []
+
+    def test_retry_then_succeed(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise InjectedFault("transient")
+            return "ok"
+
+        sleeps = []
+        policy = RetryPolicy(max_retries=3, seed=9)
+        assert call_with_retry(flaky, policy, key="x", sleep=sleeps.append) == "ok"
+        assert calls["n"] == 3
+        assert sleeps == list(policy.delays("x"))[:2]  # the exact schedule
+
+    def test_retry_exhaustion(self):
+        def always_fail():
+            raise InjectedFault("permanent")
+
+        policy = RetryPolicy(max_retries=2)
+        with pytest.raises(RetryExhaustedError) as info:
+            call_with_retry(always_fail, policy, sleep=lambda _: None)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, InjectedFault)
+        assert isinstance(info.value.__cause__, TransientError)
+
+    def test_non_transient_errors_propagate_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("a real bug")
+
+        with pytest.raises(ValueError):
+            call_with_retry(broken, RetryPolicy(max_retries=5), sleep=lambda _: None)
+        assert calls["n"] == 1  # never retried
+
+    def test_timeout_budget_counts_as_transient(self):
+        ticks = iter([0.0, 10.0, 10.0, 10.1])  # 1st call takes 10s, 2nd 0.1s
+        policy = RetryPolicy(max_retries=2, timeout=1.0)
+        result = call_with_retry(
+            lambda: "slow-then-fast", policy,
+            sleep=lambda _: None, clock=lambda: next(ticks),
+        )
+        assert result == "slow-then-fast"
+
+    def test_timeout_exhaustion(self):
+        clock = iter(float(i * 10) for i in range(100))
+        policy = RetryPolicy(max_retries=1, timeout=1.0)
+        with pytest.raises(RetryExhaustedError) as info:
+            call_with_retry(
+                lambda: "never fast enough", policy,
+                sleep=lambda _: None, clock=lambda: next(clock),
+            )
+        assert isinstance(info.value.last_error, LLMTimeoutError)
+
+
+class TestRetryingWrappers:
+    def test_retrying_model_recovers_flaky_steps(self):
+        model = RetryingRepairModel(
+            _FlakyModel(failures=2), RetryPolicy(max_retries=2, seed=0),
+            sleep=lambda _: None,
+        )
+        agent = ReActAgent(model=model, compiler=Compiler("quartus"))
+        result = agent.run(BROKEN)
+        assert result.success  # the two transient faults were retried away
+
+    def test_retrying_model_exhausts_on_permanent_fault(self):
+        injector = FaultInjector(seed=0, llm=FaultSpec(rate=1.0, kind="exception"))
+        model = RetryingRepairModel(
+            ChaosRepairModel(SimulatedLLM(), injector),
+            RetryPolicy(max_retries=1, seed=0),
+            sleep=lambda _: None,
+        )
+        agent = ReActAgent(model=model, compiler=Compiler("quartus"))
+        with pytest.raises(RetryExhaustedError):
+            agent.run(BROKEN)
+
+    def test_retrying_model_is_transparent_on_happy_path(self):
+        plain = RTLFixer(max_retries=0).fix(BROKEN)
+        wrapped = RTLFixer(max_retries=3).fix(BROKEN)
+        assert wrapped.success == plain.success
+        assert wrapped.final_code == plain.final_code
+        assert wrapped.iterations == plain.iterations
+
+    def test_retrying_model_with_seed_reseeds_inner(self):
+        model = RetryingRepairModel(SimulatedLLM(seed=0), RetryPolicy(seed=0))
+        reseeded = model.with_seed(5)
+        assert reseeded.inner.seed == 5
+        assert reseeded.policy.seed == 5
+        assert reseeded.name == model.name
+
+    def test_retrying_compiler_retries_injected_faults(self):
+        injector = FaultInjector(
+            seed=3, compiler=FaultSpec(rate=1.0, transient_failures=1)
+        )
+        compiler = RetryingCompiler(
+            ChaosCompiler(Compiler("quartus"), injector),
+            RetryPolicy(max_retries=2, seed=0),
+            sleep=lambda _: None,
+        )
+        assert compiler.flavor == "quartus"
+        assert compiler.compile(GOOD).ok  # one fault, one retry, success
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector / chaos wrappers
+# ---------------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_decisions_deterministic(self):
+        a = FaultInjector(seed=11, llm=FaultSpec(rate=0.5))
+        b = FaultInjector(seed=11, llm=FaultSpec(rate=0.5))
+        keys = [f"unit-{i}" for i in range(50)]
+        assert [a.decide("llm.step", k) for k in keys] == [
+            b.decide("llm.step", k) for k in keys
+        ]
+
+    def test_rate_extremes(self):
+        never = FaultInjector(seed=0, llm=FaultSpec(rate=0.0))
+        always = FaultInjector(seed=0, llm=FaultSpec(rate=1.0))
+        assert all(never.decide("llm.step", f"k{i}") is None for i in range(20))
+        assert all(
+            always.decide("llm.step", f"k{i}") == "exception" for i in range(20)
+        )
+
+    def test_transient_faults_clear_after_n(self):
+        injector = FaultInjector(
+            seed=0, llm=FaultSpec(rate=1.0, transient_failures=2)
+        )
+        decisions = [injector.decide("llm.step", "same-key") for _ in range(4)]
+        assert decisions == ["exception", "exception", None, None]
+
+    def test_unconfigured_site_never_faults(self):
+        injector = FaultInjector(seed=0, llm=FaultSpec(rate=1.0))
+        assert injector.decide("compiler.compile", "k") is None
+
+    def test_fire_raises_by_kind(self):
+        boom = FaultInjector(seed=0, llm=FaultSpec(rate=1.0, kind="exception"))
+        slow = FaultInjector(seed=0, llm=FaultSpec(rate=1.0, kind="timeout"))
+        with pytest.raises(InjectedFault):
+            boom.fire("llm.step", "k")
+        with pytest.raises(LLMTimeoutError):
+            slow.fire("llm.step", "k")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(rate=0.5, kind="gremlins")
+
+
+class TestChaosWrappers:
+    def test_garbage_steps_survived_by_agent_loop(self):
+        injector = FaultInjector(seed=0, llm=FaultSpec(rate=1.0, kind="garbage"))
+        model = ChaosRepairModel(SimulatedLLM(), injector)
+        agent = ReActAgent(model=model, compiler=Compiler("quartus"), max_iterations=3)
+        result = agent.run(BROKEN)
+        assert not result.success  # garbage can't fix anything...
+        assert result.iterations == 3  # ...but the loop stays bounded and alive
+
+    def test_chaos_client_garbles_or_passes_through(self):
+        class _Echo:
+            def complete(self, messages, temperature=0.4):
+                return "echo"
+
+        garbled = ChaosLLMClient(
+            _Echo(), FaultInjector(seed=0, client=FaultSpec(rate=1.0, kind="garbage"))
+        )
+        clean = ChaosLLMClient(_Echo(), FaultInjector(seed=0))
+        assert garbled.complete([]) == GARBAGE_CODE
+        assert clean.complete([]) == "echo"
+
+    def test_chaos_compiler_poisons_feedback(self):
+        injector = FaultInjector(
+            seed=0, compiler=FaultSpec(rate=1.0, kind="garbage")
+        )
+        chaos = ChaosCompiler(Compiler("quartus"), injector)
+        assert not chaos.compile(GOOD).ok  # clean code, poisoned diagnostics
+
+    def test_chaos_model_name_marks_wrapper(self):
+        model = ChaosRepairModel(SimulatedLLM(), FaultInjector(seed=0))
+        assert model.name == "chaos(gpt-3.5-sim)"
+
+
+# ---------------------------------------------------------------------------
+# Failure-isolating executor
+# ---------------------------------------------------------------------------
+
+
+class TestCollectMode:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_collect_isolates_worker_crashes(self, backend):
+        runner = ParallelRunner(jobs=3, backend=backend)
+        results = runner.map(_fail_on_multiples_of_three, list(range(10)),
+                             on_error="collect")
+        values, failures = partition_failures(results)
+        assert [f.index for f in failures] == [0, 3, 6, 9]
+        assert all(f.error_type == "RuntimeError" for f in failures)
+        assert all("unit 3 poisoned" in f.message for f in failures[1:2])
+        assert [v for v in values if v is not None] == [
+            i * i for i in range(10) if i % 3
+        ]
+
+    def test_collect_reports_progress_for_failures_too(self):
+        events = []
+        runner = ParallelRunner(jobs=2, backend="thread")
+        runner.map(
+            _fail_on_multiples_of_three, list(range(6)),
+            progress=lambda d, t, item: events.append((d, t)),
+            on_error="collect",
+        )
+        assert [d for d, _ in events] == list(range(1, 7))
+
+    def test_collect_failures_carry_diagnostics(self):
+        runner = ParallelRunner(jobs=1, backend="serial")
+        [failure] = runner.map(_fail_on_multiples_of_three, [3], on_error="collect")
+        assert isinstance(failure, WorkFailure)
+        assert "RuntimeError" in failure.describe()
+        assert "unit 3 poisoned" in failure.traceback
+        assert failure.item_repr == "3"
+
+    def test_unknown_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=1).map(_square, [1], on_error="ignore")
+
+    def test_raise_mode_unchanged(self):
+        with pytest.raises(RuntimeError):
+            ParallelRunner(jobs=2, backend="thread").map(
+                _fail_on_multiples_of_three, [3, 1, 2]
+            )
+
+
+class TestPromptAbort:
+    """Regression: on_error='raise' must cancel pending units instead of
+    draining the whole queue before surfacing the failure."""
+
+    def test_failure_aborts_without_draining_queue(self):
+        runner = ParallelRunner(jobs=2, backend="thread")
+        items = [("fail", 0.0)] + [("sleep", 0.2)] * 20
+        started = time.monotonic()
+        with pytest.raises(RuntimeError):
+            runner.map(_fail_or_sleep, items)
+        elapsed = time.monotonic() - started
+        # Draining would cost ~20*0.2/2 = 2s; cancellation leaves only
+        # the in-flight units (<= 2 workers * 0.2s) plus overhead.
+        assert elapsed < 1.5
+
+    def test_success_path_still_bit_identical(self):
+        runner = ParallelRunner(jobs=3, backend="thread")
+        assert runner.map(_square, range(20)) == [i * i for i in range(20)]
+
+
+# ---------------------------------------------------------------------------
+# Regression: seed-cloning must carry an injected model
+# ---------------------------------------------------------------------------
+
+
+class TestWithSeedCarriesModel:
+    def test_injected_model_survives_with_seed(self):
+        chaos = ChaosRepairModel(
+            SimulatedLLM(), FaultInjector(seed=7, llm=FaultSpec(rate=1.0))
+        )
+        fixer = RTLFixer(model=chaos, max_retries=0)
+        reseeded = fixer.with_seed(3)
+        assert isinstance(reseeded.injected_model, ChaosRepairModel)
+        assert reseeded.injected_model.inner.seed == 3
+        # The regression: the chaos model used to be silently replaced
+        # by a fresh SimulatedLLM, so faults vanished on repeated trials.
+        with pytest.raises(InjectedFault):
+            reseeded.fix(BROKEN)
+
+    def test_model_without_with_seed_is_reused(self):
+        class _Static:
+            """Model with no reseeding hook."""
+
+            name = "static"
+
+            def start(self, code, flavor, use_rag):
+                return self
+
+            def step(self, code, feedback, guidance):
+                return RepairStep(thought="noop", code=code, declared_done=True)
+
+        model = _Static()
+        fixer = RTLFixer(model=model)
+        assert fixer.with_seed(9).injected_model is model
+
+    def test_default_model_still_rebuilt_from_config(self):
+        fixer = RTLFixer()
+        reseeded = fixer.with_seed(4)
+        assert reseeded.injected_model is None
+        assert reseeded.model.seed == 4
+
+
+# ---------------------------------------------------------------------------
+# Regression: rule-fix repairs must appear in the transcript
+# ---------------------------------------------------------------------------
+
+
+class TestRuleFixAccounting:
+    def test_rule_fix_recorded_as_transcript_step(self):
+        raw = f"Sure!\n```verilog\n{GOOD}```\n"
+        result = RTLFixer().fix(raw)
+        assert result.success and result.iterations == 0
+        assert result.rule_fixed
+        actions = [t.action for t in result.transcript.turns]
+        assert actions == ["RuleFix", "Finish"]
+        assert "rule-based" in result.transcript.turns[-1].thought.lower()
+
+    def test_clean_input_has_no_rule_fix_step(self):
+        result = RTLFixer().fix(GOOD)
+        assert result.success and not result.rule_fixed
+        assert [t.action for t in result.transcript.turns] == ["Finish"]
+
+    def test_oneshot_records_rule_fix_too(self):
+        raw = f"```verilog\n{GOOD}```"
+        result = RTLFixer(prompting="oneshot").fix(raw)
+        assert result.rule_fixed
+        assert [t.action for t in result.transcript.turns] == ["RuleFix"]
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: Table-1-shaped chaos run with failure isolation
+# ---------------------------------------------------------------------------
+
+
+class TestChaosExperimentRun:
+    """An LLM injected to hard-fail on a fraction of trials must not
+    sink the experiment: failures are isolated, named exactly, and the
+    surviving units are bit-identical to a serial run at any job count."""
+
+    def _chaos_fixer(self) -> RTLFixer:
+        chaos = ChaosRepairModel(
+            SimulatedLLM(),
+            FaultInjector(seed=13, llm=FaultSpec(rate=0.3, kind="exception")),
+        )
+        return RTLFixer(
+            config=RTLFixerConfig(max_retries=0, on_error="collect"), model=chaos
+        )
+
+    def test_chaos_run_completes_and_is_deterministic(self, tiny_dataset):
+        fixer = self._chaos_fixer()
+        first = run_fix_experiment(tiny_dataset, fixer, repeats=2)
+        second = run_fix_experiment(tiny_dataset, fixer, repeats=2)
+        assert first.failures, "fault rate 0.3 must fail some trials"
+        assert first.failures == second.failures
+        assert first.fixed_counts == second.fixed_counts
+        assert all(
+            f.error_type in ("InjectedFault", "RetryExhaustedError")
+            for f in first.failures
+        )
+
+    @pytest.mark.parametrize("backend,jobs", [("thread", 3), ("process", 4)])
+    def test_parallel_chaos_matches_serial(self, tiny_dataset, backend, jobs):
+        fixer = self._chaos_fixer()
+        serial = run_fix_experiment(tiny_dataset, fixer, repeats=2)
+        parallel = run_fix_experiment(
+            tiny_dataset, fixer, repeats=2,
+            runner=ParallelRunner(jobs=jobs, backend=backend),
+        )
+        assert parallel.failures == serial.failures  # exactly the same units
+        assert parallel.fixed_counts == serial.fixed_counts
+        assert parallel.iterations == serial.iterations
+        assert parallel.rate == serial.rate
+
+    def test_retries_heal_transient_chaos(self, tiny_dataset):
+        flaky = ChaosRepairModel(
+            SimulatedLLM(),
+            FaultInjector(
+                seed=13, llm=FaultSpec(rate=0.3, kind="exception",
+                                       transient_failures=1),
+            ),
+        )
+        fixer = RTLFixer(
+            config=RTLFixerConfig(max_retries=2, on_error="collect"), model=flaky
+        )
+        run = run_fix_experiment(tiny_dataset, fixer, repeats=1)
+        assert run.failures == []  # every transient fault retried away
+
+    def test_raise_mode_aborts_chaos_run(self, tiny_dataset):
+        fixer = self._chaos_fixer()
+        with pytest.raises(InjectedFault):
+            run_fix_experiment(tiny_dataset, fixer, repeats=2, on_error="raise")
+
+
+def _square(x: int) -> int:
+    """Square (top-level so process-pool workers can pickle it)."""
+    return x * x
+
+
+def _fail_on_multiples_of_three(x: int) -> int:
+    """Worker that crashes on multiples of three."""
+    if x % 3 == 0:
+        raise RuntimeError("unit 3 poisoned" if x == 3 else f"unit {x} poisoned")
+    return x * x
+
+
+def _fail_or_sleep(item: tuple) -> str:
+    """Worker that either fails immediately or sleeps (for abort timing)."""
+    kind, duration = item
+    if kind == "fail":
+        raise RuntimeError("fast failure")
+    time.sleep(duration)
+    return kind
