@@ -7,9 +7,10 @@
 #   scripts/bench.sh --all           # every bench    -> BENCH_all.json
 #   REPRO_BENCH_PROFILE=paper scripts/bench.sh   # full paper protocol
 #
-# The chaos (fault-injection) suite runs first: perf numbers for a
-# runtime whose failure paths are broken are not worth recording.
-# Skip it with REPRO_BENCH_SKIP_CHAOS=1.
+# The chaos (fault-injection) suite and a fuzz smoke run first: perf
+# numbers for a runtime whose failure paths are broken, or a compiler
+# front-end that crashes on hostile input, are not worth recording.
+# Skip them with REPRO_BENCH_SKIP_CHAOS=1 / REPRO_BENCH_SKIP_FUZZ=1.
 #
 # Extra pytest arguments can follow the optional --all flag.
 set -euo pipefail
@@ -19,6 +20,12 @@ if [[ "${REPRO_BENCH_SKIP_CHAOS:-0}" != "1" ]]; then
     echo "running fault-injection (chaos) suite..."
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
         python -m pytest tests/test_faults.py -m chaos -q
+fi
+
+if [[ "${REPRO_BENCH_SKIP_FUZZ:-0}" != "1" ]]; then
+    echo "running compiler front-end fuzz smoke (200 iterations)..."
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.cli fuzz --seed 0 --iterations 200
 fi
 
 profile="${REPRO_BENCH_PROFILE:-quick}"

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# One-command CI gate: tier-1 tests, the chaos (fault-injection) suite,
+# and a 200-iteration compiler front-end fuzz smoke.  Exits non-zero if
+# any stage fails; later stages still run so one log shows every break.
+#
+# Usage:
+#   scripts/ci.sh                # all three stages
+#   FUZZ_ITERATIONS=1000 scripts/ci.sh   # deeper fuzz stage
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+iterations="${FUZZ_ITERATIONS:-200}"
+status=0
+
+echo "== tier-1 tests =="
+python -m pytest -q || status=1
+
+echo "== chaos (fault-injection) suite =="
+python -m pytest tests/test_faults.py -m chaos -q || status=1
+
+echo "== fuzz smoke ($iterations iterations, seed 0) =="
+python -m repro.cli fuzz --seed 0 --iterations "$iterations" || status=1
+
+if [[ "$status" -eq 0 ]]; then
+    echo "CI: all stages passed"
+else
+    echo "CI: FAILED (see stage output above)" >&2
+fi
+exit "$status"

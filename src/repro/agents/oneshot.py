@@ -51,7 +51,13 @@ class OneShotAgent:
 
         feedback = result.log
         guidance = []
-        if self.retriever is not None and feedback:
+        # As in ReActAgent: crashed compiles are usable feedback, but
+        # internal-error logs have no RAG guidance to retrieve.
+        if (
+            self.retriever is not None
+            and feedback
+            and not getattr(result, "crashed", False)
+        ):
             guidance = [r.entry for r in self.retriever.retrieve(feedback)]
 
         session = self.model.start(

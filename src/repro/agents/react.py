@@ -93,7 +93,13 @@ class ReActAgent:
         for _ in range(self.max_iterations):
             feedback = result.log
             guidance = []
-            if self.retriever is not None and feedback:
+            # A crashed compile (internal-error diagnostic, see
+            # compile_source's never-crash boundary) is still feedback
+            # the model can react to, but there is no point retrieving
+            # guidance for it: the RAG database indexes *design* errors,
+            # not compiler defects.
+            crashed = getattr(result, "crashed", False)
+            if self.retriever is not None and feedback and not crashed:
                 guidance = [r.entry for r in self.retriever.retrieve(feedback)]
                 if guidance:
                     transcript.add(

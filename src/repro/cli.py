@@ -7,7 +7,9 @@ Subcommands:
 * ``dataset <out.json>``-- build the VerilogEval-syntax-equivalent
   dataset and save it as JSON;
 * ``report``            -- run the full reproduction report (every
-  table/figure), optionally fanned out with ``--jobs``.
+  table/figure), optionally fanned out with ``--jobs``;
+* ``fuzz``              -- fuzz the compiler front-end and verify its
+  never-crash/never-hang invariants (``--seed``/``--iterations``).
 """
 
 from __future__ import annotations
@@ -132,6 +134,28 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .runtime.faults import FaultInjector, FaultSpec
+    from .runtime.fuzz import FuzzConfig, run_fuzz
+
+    injector = None
+    if args.chaos_rate > 0:
+        injector = FaultInjector(
+            seed=args.seed,
+            compiler=FaultSpec(rate=args.chaos_rate, kind="garbage"),
+        )
+    report = run_fuzz(
+        FuzzConfig(
+            seed=args.seed,
+            iterations=args.iterations,
+            per_input_budget=args.per_input_budget,
+            injector=injector,
+        )
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the rtlfixer argument parser."""
     parser = argparse.ArgumentParser(
@@ -203,6 +227,26 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--no-gpt4", action="store_true",
                      help="skip the GPT-4 ablation rows")
     rep.set_defaults(func=_cmd_report)
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="fuzz the compiler front-end (never-crash/never-hang check)",
+    )
+    fz.add_argument("--seed", type=int, default=0,
+                    help="fuzzing seed; same seed => identical mutation "
+                    "sequence and verdicts")
+    fz.add_argument("--iterations", type=int, default=200,
+                    help="number of fuzzed inputs to compile")
+    fz.add_argument(
+        "--per-input-budget", type=float, default=2.0, metavar="SECONDS",
+        help="wall-clock ceiling per fuzzed input; slower counts as a hang",
+    )
+    fz.add_argument(
+        "--chaos-rate", type=float, default=0.0, metavar="RATE",
+        help="also splice chaos-harness garbage into this fraction of "
+        "inputs (0 disables the fault-injection integration)",
+    )
+    fz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..agents.react import DEFAULT_MAX_ITERATIONS
+from ..verilog.limits import ResourceLimits
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,12 @@ class RTLFixerConfig:
     #: isolates failures as per-unit WorkFailure records so one poisoned
     #: trial cannot sink a full Table 1 run.
     on_error: str = "raise"
+    #: Resource budgets for every compile issued by the fixer's compiler
+    #: (None = repro.verilog.limits.DEFAULT_LIMITS).  Budget violations
+    #: surface as ordinary RESOURCE_LIMIT diagnostics in the agent's
+    #: feedback, so a macro-bomb candidate degrades into a not-fixed
+    #: trial instead of hanging or aborting a run.
+    compile_limits: Optional[ResourceLimits] = None
 
     def __post_init__(self) -> None:
         if self.prompting not in ("react", "oneshot"):
@@ -67,6 +74,12 @@ class RTLFixerConfig:
         if self.on_error not in ("raise", "collect"):
             raise ValueError(
                 f"on_error must be raise|collect, got {self.on_error!r}"
+            )
+        if self.compile_limits is not None and not isinstance(
+            self.compile_limits, ResourceLimits
+        ):
+            raise ValueError(
+                "compile_limits must be a ResourceLimits instance or None"
             )
 
     def label(self) -> str:

@@ -47,7 +47,9 @@ class RTLFixer:
         elif overrides:
             raise ValueError("pass either a config object or field overrides, not both")
         self.config = config
-        self.compiler = Compiler(flavor=config.compiler)
+        self.compiler = Compiler(
+            flavor=config.compiler, limits=config.compile_limits
+        )
         self.database = database or build_default_database()
         self._injected_model = model
         self.model: RepairModel = model or SimulatedLLM(

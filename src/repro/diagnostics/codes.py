@@ -38,6 +38,13 @@ class ErrorCategory(enum.Enum):
     EVENT_EXPR = "bad-event-expression"
     #: Warning-severity finding (not part of the 7/11 error taxonomy).
     WIDTH_TRUNCATION = "width-truncation"
+    #: A ResourceLimits budget ran out (outside the paper's taxonomy:
+    #: these never occur in the curated dataset, only on degenerate
+    #: LLM-generated input).
+    RESOURCE_LIMIT = "resource-limit"
+    #: The front-end itself failed; the crash was converted into
+    #: feedback at the compile_source boundary (outside the taxonomy).
+    INTERNAL = "internal-error"
 
 
 @dataclass(frozen=True)
@@ -55,6 +62,11 @@ class CategoryInfo:
     #: True for warning-severity findings: excluded from the error
     #: taxonomy counts the RAG database is keyed on.
     is_warning: bool = False
+    #: False for robustness categories (resource limits, internal
+    #: errors): real errors, but outside the paper's 7/11 taxonomy --
+    #: they never occur in the curated dataset, only on degenerate
+    #: input, so they must not shift the taxonomy counts.
+    in_taxonomy: bool = True
 
 
 _CATALOG: tuple[CategoryInfo, ...] = (
@@ -71,6 +83,10 @@ _CATALOG: tuple[CategoryInfo, ...] = (
     CategoryInfo(ErrorCategory.EVENT_EXPR, 10216, False, "bad event expression"),
     CategoryInfo(ErrorCategory.WIDTH_TRUNCATION, 10230, True,
                  "value truncated to fit target", is_warning=True),
+    CategoryInfo(ErrorCategory.RESOURCE_LIMIT, 10905, True,
+                 "resource limit exceeded", in_taxonomy=False),
+    CategoryInfo(ErrorCategory.INTERNAL, 293001, True,
+                 "internal compiler error", in_taxonomy=False),
 )
 
 CATALOG: dict[ErrorCategory, CategoryInfo] = {info.category: info for info in _CATALOG}
@@ -79,13 +95,14 @@ CATALOG: dict[ErrorCategory, CategoryInfo] = {info.category: info for info in _C
 #: warnings are not part of the taxonomy).
 IVERILOG_CATEGORIES: tuple[ErrorCategory, ...] = tuple(
     info.category for info in _CATALOG
-    if info.iverilog_distinct and not info.is_warning
+    if info.iverilog_distinct and not info.is_warning and info.in_taxonomy
 )
 
 #: All error categories, identifiable from Quartus tags (11, as in the
 #: paper).
 QUARTUS_CATEGORIES: tuple[ErrorCategory, ...] = tuple(
-    info.category for info in _CATALOG if not info.is_warning
+    info.category for info in _CATALOG
+    if not info.is_warning and info.in_taxonomy
 )
 
 QUARTUS_TAG_TO_CATEGORY: dict[int, ErrorCategory] = {

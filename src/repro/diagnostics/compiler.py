@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle with
     # repro.verilog, whose modules import the diagnostics catalog.
     from ..verilog.ast import Design
     from ..verilog.elaborate import ElabDesign
+    from ..verilog.limits import ResourceLimits
     from ..verilog.source import SourceFile
 
 CompilerFlavor = Literal["simple", "iverilog", "quartus"]
@@ -42,9 +43,16 @@ class CompileResult:
     diagnostics: list[Diagnostic] = field(default_factory=list)
     design: Optional["Design"] = None
     elaborated: Optional["ElabDesign"] = None
+    #: True when the front-end hit an unexpected internal failure and
+    #: the crash was converted into an ``INTERNAL`` diagnostic at the
+    #: :func:`compile_source` boundary.  A crashed result is never
+    #: ``ok`` -- agents treat it as (degraded) compiler feedback.
+    crashed: bool = False
 
     @property
     def ok(self) -> bool:
+        if self.crashed:
+            return False
         return not any(d.severity is Severity.ERROR for d in self.diagnostics)
 
     @property
@@ -67,28 +75,42 @@ class CompileResult:
             return ""
         if self.flavor == "simple":
             return SIMPLE_FEEDBACK
-        if self.flavor == "iverilog":
-            return iverilog_style.render(self.diagnostics)
-        return quartus_style.render(self.diagnostics)
+        try:
+            if self.flavor == "iverilog":
+                return iverilog_style.render(self.diagnostics)
+            return quartus_style.render(self.diagnostics)
+        except Exception:  # never-crash contract extends to rendering
+            name = self.source.name if self.source is not None else "main.v"
+            return f"{name}:0: internal error: diagnostic rendering failed"
 
 
 class Compiler:
-    """Reusable compiler with a fixed flavour and file name."""
+    """Reusable compiler with a fixed flavour, file name and limits."""
 
-    def __init__(self, flavor: CompilerFlavor = "iverilog", file_name: str = "main.v"):
+    def __init__(
+        self,
+        flavor: CompilerFlavor = "iverilog",
+        file_name: str = "main.v",
+        limits: "ResourceLimits | None" = None,
+    ):
         if flavor not in ("simple", "iverilog", "quartus"):
             raise ValueError(f"unknown compiler flavor: {flavor!r}")
         self.flavor: CompilerFlavor = flavor
         self.file_name = file_name
+        #: Resource budgets enforced on every compile (None = defaults).
+        self.limits = limits
 
     def compile(self, code: str) -> CompileResult:
+        """Compile ``code`` under this compiler's flavour and limits."""
         # Routed through the content-addressed cache: agents re-compile
         # the same revision across repeated trials, and compilation is a
         # pure function of the inputs.  (Deferred import: repro.runtime
         # falls back to compile_source below, avoiding a cycle.)
         from ..runtime.cache import cached_compile
 
-        return cached_compile(code, name=self.file_name, flavor=self.flavor)
+        return cached_compile(
+            code, name=self.file_name, flavor=self.flavor, limits=self.limits
+        )
 
 
 def compile_source(
@@ -96,18 +118,73 @@ def compile_source(
     name: str = "main.v",
     flavor: CompilerFlavor = "iverilog",
     include_files: dict[str, str] | None = None,
+    limits: "ResourceLimits | None" = None,
 ) -> CompileResult:
-    """Run the full front-end over ``code`` and collect diagnostics."""
+    """Run the full front-end over ``code`` and collect diagnostics.
+
+    This is the library's *never-crash, never-hang* boundary: whatever
+    the input, the result is a :class:`CompileResult` carrying
+    diagnostics.  Resource budgets (``limits``, default
+    :data:`~repro.verilog.limits.DEFAULT_LIMITS`) are enforced
+    cooperatively inside every pipeline stage and violations surface as
+    ``RESOURCE_LIMIT`` diagnostics; any *unexpected* exception is caught
+    here and converted into an ``INTERNAL`` diagnostic on a result with
+    ``crashed=True`` -- graceful degradation, not an abort.
+    """
+    from ..errors import ResourceLimitExceeded
+    from ..verilog.limits import DEFAULT_LIMITS, LimitTracker
+    from ..verilog.source import SourceFile, Span
+
+    tracker = LimitTracker(limits=limits if limits is not None else DEFAULT_LIMITS)
+    sink: list[Diagnostic] = []
+    raw = SourceFile(name, code)
+    head = Span(raw, 0, min(1, len(code))) if code else None
+    try:
+        return _run_pipeline(raw, flavor, include_files, tracker, sink)
+    except ResourceLimitExceeded as exc:
+        # A stage unwound cooperatively: an ordinary limit diagnostic,
+        # not a crash.
+        sink.append(
+            Diagnostic(
+                ErrorCategory.RESOURCE_LIMIT, head,
+                {"what": exc.kind, "limit": exc.limit},
+            )
+        )
+        return CompileResult(source=raw, flavor=flavor, diagnostics=_dedup(sink))
+    except Exception as exc:  # the catch-all crash boundary
+        detail = f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
+        sink.append(
+            Diagnostic(ErrorCategory.INTERNAL, head, {"detail": detail})
+        )
+        return CompileResult(
+            source=raw, flavor=flavor, diagnostics=_dedup(sink), crashed=True
+        )
+
+
+def _run_pipeline(
+    raw: "SourceFile",
+    flavor: CompilerFlavor,
+    include_files: dict[str, str] | None,
+    tracker,
+    sink: list[Diagnostic],
+) -> CompileResult:
+    """The actual lexer -> preprocessor -> parser -> elaborator run."""
     from ..verilog.elaborate import ElabDesign, elaborate
     from ..verilog.parser import parse
     from ..verilog.preprocessor import preprocess
-    from ..verilog.source import SourceFile
+    from ..verilog.source import Span
 
-    sink: list[Diagnostic] = []
-    raw = SourceFile(name, code)
-    pre = preprocess(raw, include_files=include_files)
+    if not tracker.charge("source bytes", len(raw.text.encode("utf-8", "replace"))):
+        diag = tracker.diagnose(
+            "source bytes", Span(raw, 0, 1) if raw.text else None
+        )
+        if diag is not None:
+            sink.append(diag)
+        return CompileResult(source=raw, flavor=flavor, diagnostics=_dedup(sink))
+
+    pre = preprocess(raw, include_files=include_files, tracker=tracker)
     sink.extend(pre.diagnostics)
-    design = parse(pre.source, sink)
+    design = parse(pre.source, sink, tracker=tracker)
     elaborated: Optional[ElabDesign] = None
     if not design.modules:
         # No module parsed at all: report it once (unless parsing already
@@ -117,7 +194,7 @@ def compile_source(
                 Diagnostic(ErrorCategory.SYNTAX_NEAR, None, {"near": "empty design"})
             )
     else:
-        elaborated = elaborate(design, sink)
+        elaborated = elaborate(design, sink, tracker=tracker)
     return CompileResult(
         source=pre.source,
         flavor=flavor,

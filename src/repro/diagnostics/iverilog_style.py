@@ -45,6 +45,18 @@ def render_diagnostic(diag: Diagnostic) -> list[str]:
     if cat is ErrorCategory.DUPLICATE_DECL:
         name = args.get("name", "?")
         return [f"{loc}: error: `{name}' has already been declared in this scope."]
+    if cat is ErrorCategory.RESOURCE_LIMIT:
+        # iverilog's terse refusal style for inputs it will not chew on.
+        what = args.get("what", "resource")
+        limit = args.get("limit", "?")
+        return [f"{loc}: sorry: {what} limit ({limit}) exceeded."]
+    if cat is ErrorCategory.INTERNAL:
+        # iverilog internal failures: a terse sorry/internal error pair.
+        detail = args.get("detail", "unexpected condition")
+        return [
+            f"{loc}: internal error: {detail}",
+            f"{loc}: sorry: please report this as a compiler bug.",
+        ]
     if cat is ErrorCategory.SYNTAX_NEAR:
         return [f"{loc}: syntax error"]
     # MISSING_SEMICOLON, UNBALANCED_BLOCK, C_STYLE_SYNTAX, EVENT_EXPR:

@@ -61,6 +61,14 @@ _TEMPLATES: dict[ErrorCategory, str] = {
         'truncated value with size {from_width} to match size {to_width} '
         'of target "{name}"'
     ),
+    ErrorCategory.RESOURCE_LIMIT: (
+        "design exceeds the {what} limit ({limit}). Simplify the design "
+        "or raise the corresponding resource limit."
+    ),
+    ErrorCategory.INTERNAL: (
+        "{detail}. This is a defect in the compiler, not in the design; "
+        "simplify the input to work around it."
+    ),
 }
 
 
@@ -76,6 +84,14 @@ def render_diagnostic(diag: Diagnostic) -> str:
     message = _TEMPLATES[diag.category].format_map(_Defaulting(diag.args))
     file_name = diag.file_name or "design.sv"
     line = diag.line or 0
+    if diag.category is ErrorCategory.INTERNAL:
+        # Mirrors the real tool's tagged internal-error report, which is
+        # not phrased as a Verilog HDL diagnostic.
+        return (
+            f"Error ({tag}): Quartus Prime Analysis & Synthesis "
+            f"encountered an internal error: {message} "
+            f"File: /tmp/work/{file_name} Line: {line}"
+        )
     return (
         f"{kind} ({tag}): Verilog HDL {kind.lower()} at {file_name}({line}): "
         f"{message} File: /tmp/work/{file_name} Line: {line}"

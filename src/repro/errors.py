@@ -23,6 +23,23 @@ class VerilogInternalError(ReproError):
     """
 
 
+class ResourceLimitExceeded(ReproError):
+    """A cooperative resource budget of the compiler front-end ran out.
+
+    Raised *inside* pipeline stages (see
+    :class:`repro.verilog.limits.LimitTracker`) when unwinding via an
+    exception is simpler than threading a flag; always caught at the
+    :func:`repro.diagnostics.compiler.compile_source` boundary and
+    converted into an ordinary ``RESOURCE_LIMIT`` diagnostic.  It never
+    escapes the front-end.
+    """
+
+    def __init__(self, kind: str, limit: int):
+        super().__init__(f"{kind} limit ({limit}) exceeded")
+        self.kind = kind
+        self.limit = limit
+
+
 class SimulationError(ReproError):
     """The simulator could not run an elaborated design.
 

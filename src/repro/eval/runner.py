@@ -25,7 +25,7 @@ from ..core.rulefix import rule_fix
 from ..dataset.curate import SyntaxDataset
 from ..dataset.problem import Problem
 from ..llm.base import RepairModel
-from ..runtime import ParallelRunner, WorkFailure, cached_compile
+from ..runtime import ParallelRunner, WorkFailure, cached_compile, isolable
 from ..sim import run_differential
 from .metrics import fix_rate
 
@@ -127,8 +127,10 @@ def run_fix_experiment(
                     outcome = fixer.with_seed(fixer.config.seed + trial).fix(
                         entry.code, description=entry.description
                     )
-                except Exception as exc:
-                    if on_error != "collect":
+                except BaseException as exc:
+                    # Ctrl-C / SystemExit must abort the run, never be
+                    # filed away as a not-fixed trial (see isolable()).
+                    if on_error != "collect" or not isolable(exc):
                         raise
                     result.failures.append(
                         WorkFailure.from_exception(index * repeats + trial, entry, exc)

@@ -16,7 +16,10 @@ The pillars every experiment driver in :mod:`repro.eval` is built on:
   compiler seams;
 * :class:`FaultInjector` + the ``Chaos*`` wrappers -- deterministic
   fault injection so every failure path above is testable at a fixed
-  seed.
+  seed;
+* :func:`run_fuzz` -- the seeded corpus fuzzer that continuously
+  prosecutes the compiler front-end's never-crash/never-hang contract
+  (``rtlfixer fuzz``).
 """
 
 from .cache import (
@@ -31,7 +34,21 @@ from .cache import (
     set_active_cache,
     use_compile_cache,
 )
-from .executor import ParallelRunner, WorkFailure, partition_failures, resolve_jobs
+from .executor import (
+    ParallelRunner,
+    WorkFailure,
+    isolable,
+    partition_failures,
+    resolve_jobs,
+)
+from .fuzz import (
+    MUTATORS,
+    SEED_CORPUS,
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    run_fuzz,
+)
 from .faults import (
     GARBAGE_CODE,
     ChaosCompiler,
@@ -58,8 +75,13 @@ __all__ = [
     "DEFAULT_MAXSIZE",
     "FaultInjector",
     "FaultSpec",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
     "GARBAGE_CODE",
+    "MUTATORS",
     "ParallelRunner",
+    "SEED_CORPUS",
     "RetryPolicy",
     "RetryingCompiler",
     "RetryingLLMClient",
@@ -69,9 +91,11 @@ __all__ = [
     "call_with_retry",
     "compile_key",
     "get_active_cache",
+    "isolable",
     "no_compile_cache",
     "partition_failures",
     "resolve_jobs",
+    "run_fuzz",
     "set_active_cache",
     "use_compile_cache",
 ]

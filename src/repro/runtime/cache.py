@@ -6,8 +6,8 @@ reference of each problem is recompiled for every one of thousands of
 ``evaluate_sample`` calls, repeated trials re-feed the same broken entry
 to the compiler, and the simulated sampler emits byte-identical
 completions across runs.  ``compile_source`` is a pure function of
-``(code, name, flavor, include_files)``, so its results can be memoized
-behind a content address.
+``(code, name, flavor, include_files, limits)``, so its results can be
+memoized behind a content address.
 
 :class:`CompileCache` keys results by a SHA-256 digest of exactly those
 inputs (the compiler *flavor* is part of the key: an iverilog-rendered
@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING, Iterator, Optional
 if TYPE_CHECKING:  # runtime import is deferred to avoid a cycle with
     # repro.diagnostics, whose Compiler facade routes through this cache.
     from ..diagnostics.compiler import CompileResult
+    from ..verilog.limits import ResourceLimits
 
 #: Default LRU bound of a :class:`CompileCache`.  Full-scale experiment
 #: runs touch a few thousand distinct sources; elaborated designs for
@@ -59,16 +60,24 @@ def compile_key(
     name: str = "main.v",
     flavor: str = "iverilog",
     include_files: Optional[dict[str, str]] = None,
+    limits: "Optional[ResourceLimits]" = None,
 ) -> str:
     """Content address of one compiler invocation.
 
     A SHA-256 digest over every input ``compile_source`` consumes.  The
     flavor participates in the key because the rendered feedback (and
     the ``CompileResult.flavor`` attribute the agents read) differs per
-    flavor even when the diagnostics are identical.
+    flavor even when the diagnostics are identical; the resource limits
+    participate because the same source may compile cleanly under the
+    defaults yet hit a ``RESOURCE_LIMIT`` diagnostic under tighter
+    budgets (``None`` normalizes to the defaults, so explicit-default
+    and omitted limits share entries).
     """
+    from ..verilog.limits import DEFAULT_LIMITS
+
     hasher = hashlib.sha256()
-    for part in (flavor, name):
+    effective = limits if limits is not None else DEFAULT_LIMITS
+    for part in (flavor, name, repr(effective)):
         hasher.update(part.encode())
         hasher.update(b"\x00")
     for inc_name in sorted(include_files or {}):
@@ -143,9 +152,13 @@ class CompileCache:
         name: str = "main.v",
         flavor: str = "iverilog",
         include_files: Optional[dict[str, str]] = None,
+        limits: "Optional[ResourceLimits]" = None,
     ) -> "CompileResult":
         """Return the (possibly cached) result of compiling ``code``."""
-        key = compile_key(code, name=name, flavor=flavor, include_files=include_files)
+        key = compile_key(
+            code, name=name, flavor=flavor, include_files=include_files,
+            limits=limits,
+        )
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
@@ -159,7 +172,8 @@ class CompileCache:
         from ..diagnostics.compiler import compile_source
 
         result = compile_source(
-            code, name=name, flavor=flavor, include_files=include_files
+            code, name=name, flavor=flavor, include_files=include_files,
+            limits=limits,
         )
         with self._lock:
             self._entries[key] = result
@@ -175,9 +189,13 @@ class CompileCache:
         name: str = "main.v",
         flavor: str = "iverilog",
         include_files: Optional[dict[str, str]] = None,
+        limits: "Optional[ResourceLimits]" = None,
     ) -> bool:
         """Whether a result for this exact invocation is resident."""
-        key = compile_key(code, name=name, flavor=flavor, include_files=include_files)
+        key = compile_key(
+            code, name=name, flavor=flavor, include_files=include_files,
+            limits=limits,
+        )
         with self._lock:
             return key in self._entries
 
@@ -187,9 +205,13 @@ class CompileCache:
         name: str = "main.v",
         flavor: str = "iverilog",
         include_files: Optional[dict[str, str]] = None,
+        limits: "Optional[ResourceLimits]" = None,
     ) -> int:
         """How many times this exact invocation missed (compiled)."""
-        key = compile_key(code, name=name, flavor=flavor, include_files=include_files)
+        key = compile_key(
+            code, name=name, flavor=flavor, include_files=include_files,
+            limits=limits,
+        )
         with self._lock:
             return self.stats.misses_by_key.get(key, 0)
 
@@ -260,6 +282,7 @@ def cached_compile(
     name: str = "main.v",
     flavor: str = "iverilog",
     include_files: Optional[dict[str, str]] = None,
+    limits: "Optional[ResourceLimits]" = None,
 ) -> "CompileResult":
     """Drop-in replacement for ``compile_source`` that consults the
     active :class:`CompileCache` (and falls through when none is set)."""
@@ -268,6 +291,10 @@ def cached_compile(
         from ..diagnostics.compiler import compile_source
 
         return compile_source(
-            code, name=name, flavor=flavor, include_files=include_files
+            code, name=name, flavor=flavor, include_files=include_files,
+            limits=limits,
         )
-    return cache.compile(code, name=name, flavor=flavor, include_files=include_files)
+    return cache.compile(
+        code, name=name, flavor=flavor, include_files=include_files,
+        limits=limits,
+    )

@@ -99,6 +99,24 @@ class WorkFailure:
         return f"unit {self.index}: {self.error_type}: {self.message}"
 
 
+def isolable(exc: BaseException) -> bool:
+    """Whether ``on_error="collect"`` may swallow ``exc`` as a
+    :class:`WorkFailure`.
+
+    Only ordinary :class:`Exception` s are isolable.  Control-flow
+    exceptions -- :class:`KeyboardInterrupt`, :class:`SystemExit`,
+    :class:`GeneratorExit`, anything else deriving from
+    :class:`BaseException` directly -- must always propagate: converting
+    a Ctrl-C into a per-unit failure record would turn a user abort into
+    a silently-degraded experiment.  (The check is explicit rather than
+    relying on ``except Exception`` so the intent survives refactoring
+    and multiply-inheriting exception types.)
+    """
+    return isinstance(exc, Exception) and not isinstance(
+        exc, (KeyboardInterrupt, SystemExit, GeneratorExit)
+    )
+
+
 def partition_failures(
     results: list[Union[R, WorkFailure]],
 ) -> tuple[list[Optional[R]], list[WorkFailure]]:
@@ -180,8 +198,8 @@ class ParallelRunner:
             for index, item in enumerate(items):
                 try:
                     results.append(fn(item))
-                except Exception as exc:
-                    if on_error == "raise":
+                except BaseException as exc:
+                    if on_error == "raise" or not isolable(exc):
                         raise
                     results.append(WorkFailure.from_exception(index, item, exc))
                 if progress is not None:
@@ -201,8 +219,8 @@ class ParallelRunner:
                     index = futures[future]
                     try:
                         slots[index] = future.result()
-                    except Exception as exc:
-                        if on_error == "raise":
+                    except BaseException as exc:
+                        if on_error == "raise" or not isolable(exc):
                             raise
                         slots[index] = WorkFailure.from_exception(
                             index, items[index], exc

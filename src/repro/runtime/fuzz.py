@@ -1,0 +1,426 @@
+"""Deterministic corpus fuzzer for the compiler front-end.
+
+The crash-proofing contract of :func:`repro.diagnostics.compile_source`
+-- *never crash, never hang, always return diagnostics* -- is only
+credible if it is continuously exercised against adversarial input.
+This module is the built-in prosecutor: a seeded mutation fuzzer that
+drives the full pipeline (lexer, preprocessor, parser, elaborator)
+under deliberately tight :data:`~repro.verilog.limits.FUZZ_LIMITS` and
+cross-checks the invariants the rest of the system relies on:
+
+1. **no uncaught exception** -- every input yields a
+   :class:`~repro.diagnostics.compiler.CompileResult`;
+2. **renderer agreement** -- the iverilog- and Quartus-styled runs of
+   the same input agree on pass/fail and on the ``crashed`` flag, and
+   both render their logs without raising;
+3. **cache transparency** -- compiling through a fresh
+   :class:`~repro.runtime.cache.CompileCache` returns the same verdict
+   as the uncached run (checked on a deterministic subsample);
+4. **bounded time** -- each input compiles within a wall-clock budget.
+
+Determinism is the backbone: iteration ``i`` of seed ``s`` derives all
+randomness from ``random.Random(f"fuzz|{s}|{i}")``, so a failing
+iteration can be replayed in isolation and two runs with the same seed
+produce byte-identical mutation sequences and verdicts
+(:meth:`FuzzReport.digest` is the cheap equality witness).  The chaos
+harness plugs in through an optional
+:class:`~repro.runtime.faults.FaultInjector`: seams drawn as
+``garbage`` splice the canonical chaos junk into the fuzzed source, so
+fault-injection and fuzzing compose in one run.
+
+Exposed on the CLI as ``rtlfixer fuzz --seed N --iterations K``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Optional
+
+from ..verilog.limits import FUZZ_LIMITS, ResourceLimits
+from .faults import GARBAGE_CODE, FaultInjector
+
+#: Small, varied Verilog snippets the mutators start from.  Mostly
+#: well-formed (mutations break them in interesting ways), plus a few
+#: already-broken entries so error-recovery paths get fuzzed too.
+SEED_CORPUS: tuple[str, ...] = (
+    "module top_module(input a, input b, output out);\n"
+    "  assign out = a & b;\n"
+    "endmodule\n",
+    "module top_module(input clk, input d, output reg q);\n"
+    "  always @(posedge clk) q <= d;\n"
+    "endmodule\n",
+    "module top_module(input [7:0] in, output [7:0] out);\n"
+    "  assign out = {in[0], in[7:1]};\n"
+    "endmodule\n",
+    "module m #(parameter W = 4)(input [W-1:0] d, output [W-1:0] q);\n"
+    "  genvar i;\n"
+    "  generate for (i = 0; i < W; i = i + 1) begin : g\n"
+    "    assign q[i] = d[W-1-i];\n"
+    "  end endgenerate\n"
+    "endmodule\n",
+    "`define WIDTH 8\n"
+    "module m(input [`WIDTH-1:0] a, output reg [`WIDTH-1:0] b);\n"
+    "  always @(*) begin\n"
+    "    case (a)\n"
+    "      8'h00: b = 8'hff;\n"
+    "      default: b = a;\n"
+    "    endcase\n"
+    "  end\n"
+    "endmodule\n",
+    "module m(input wire x, output wire y)\n"
+    "  assign y = x\n"
+    "endmodule\n",
+    "module m(input a, output reg q);\n"
+    "  always @(posedge clk) begin\n"
+    "    q <= a;\n"
+    "endmodule\n",
+    "module m; wire w = 3'b012; endmodule\n",
+)
+
+#: Token soup spliced into sources by the token mutator.
+_SPLICE_TOKENS: tuple[str, ...] = (
+    "module", "endmodule", "begin", "end", "always", "assign", "posedge",
+    "case", "endcase", "if", "else", "wire", "reg", "input", "output",
+    ";", ",", "(", ")", "[", "]", "{", "}", "@", "#", "=", "<=", "?", ":",
+    "8'hff", "3'b01x", "'", "`", "\\", "$display", "generate", "for",
+    "\x00", "é", "//", "/*", "*/", '"',
+)
+
+Mutator = Callable[[Random, str, dict], str]
+
+
+def _mut_byte_splice(rng: Random, code: str, includes: dict) -> str:
+    """Overwrite or insert a few random bytes at random positions."""
+    chars = list(code) or [" "]
+    for _ in range(rng.randint(1, 8)):
+        pos = rng.randrange(len(chars))
+        ch = chr(rng.choice((rng.randint(0, 127), rng.randint(0, 0x2FF))))
+        if rng.random() < 0.5:
+            chars[pos] = ch
+        else:
+            chars.insert(pos, ch)
+    return "".join(chars)
+
+
+def _mut_token_splice(rng: Random, code: str, includes: dict) -> str:
+    """Insert random Verilog-ish tokens at random positions."""
+    parts = [code]
+    for _ in range(rng.randint(1, 5)):
+        victim = parts.pop(rng.randrange(len(parts)))
+        cut = rng.randrange(len(victim) + 1)
+        token = rng.choice(_SPLICE_TOKENS)
+        parts.extend([victim[:cut], f" {token} ", victim[cut:]])
+    return "".join(parts)
+
+
+def _mut_truncate(rng: Random, code: str, includes: dict) -> str:
+    """Cut the source off mid-construct."""
+    if not code:
+        return code
+    return code[: rng.randrange(len(code))]
+
+
+def _mut_duplicate(rng: Random, code: str, includes: dict) -> str:
+    """Duplicate a random slice (repeated modules, doubled headers...)."""
+    if not code:
+        return code
+    lo = rng.randrange(len(code))
+    hi = rng.randrange(lo, min(len(code), lo + 512) + 1)
+    return code[:hi] + code[lo:hi] + code[hi:]
+
+
+def _mut_macro_bomb(rng: Random, code: str, includes: dict) -> str:
+    """Prepend an exponentially fanning (or cyclic) ``\\`define`` chain."""
+    depth = rng.randint(3, 12)
+    lines = ["`define F0 x"]
+    for i in range(1, depth):
+        lines.append(f"`define F{i} `F{i - 1} `F{i - 1}")
+    if rng.random() < 0.3:  # close the loop: a macro cycle
+        lines[0] = f"`define F0 `F{depth - 1}"
+    lines.append(f"`define BOOM `F{depth - 1}")
+    return "\n".join(lines) + "\nmodule b; wire w = `BOOM; endmodule\n" + code
+
+
+def _mut_include_bomb(rng: Random, code: str, includes: dict) -> str:
+    """Add mutually-recursive ``\\`include`` files to the file map."""
+    chain = rng.randint(2, 5)
+    for i in range(chain):
+        includes[f"f{i}.vh"] = (
+            f'`include "f{(i + 1) % chain}.vh"\n`define I{i} {i}\n'
+        )
+    return '`include "f0.vh"\n' + code
+
+
+def _mut_paren_nest(rng: Random, code: str, includes: dict) -> str:
+    """Append an expression wrapped in deeply nested parentheses."""
+    depth = rng.randint(16, 2000)
+    expr = "(" * depth + "1" + ")" * depth
+    return code + f"\nmodule p(output o); assign o = {expr}; endmodule\n"
+
+
+def _mut_ident_blowup(rng: Random, code: str, includes: dict) -> str:
+    """Append a declaration with an absurdly long identifier."""
+    name = "x" * rng.randint(256, 20000)
+    return code + f"\nmodule q; wire {name}; endmodule\n"
+
+
+#: Name -> mutator registry; names appear in reports and failure replays.
+MUTATORS: dict[str, Mutator] = {
+    "byte_splice": _mut_byte_splice,
+    "token_splice": _mut_token_splice,
+    "truncate": _mut_truncate,
+    "duplicate": _mut_duplicate,
+    "macro_bomb": _mut_macro_bomb,
+    "include_bomb": _mut_include_bomb,
+    "paren_nest": _mut_paren_nest,
+    "ident_blowup": _mut_ident_blowup,
+}
+
+#: Every this-many iterations, additionally cross-check cache vs no-cache.
+_CACHE_CHECK_EVERY = 7
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Parameters of one fuzzing run."""
+
+    seed: int = 0
+    iterations: int = 200
+    #: Resource budgets applied to every fuzzed compile (tight by
+    #: default so adversarial inputs are cut off quickly).
+    limits: ResourceLimits = FUZZ_LIMITS
+    #: Wall-clock ceiling per fuzzed input, in seconds; an iteration
+    #: slower than this is recorded as a hang failure.
+    per_input_budget: float = 2.0
+    #: Optional chaos integration: a fault injector whose ``compiler``
+    #: seam, when drawn as ``garbage``, splices chaos junk into the
+    #: fuzzed source before compiling.
+    injector: Optional[FaultInjector] = None
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise ValueError("iterations must be >= 0")
+        if self.per_input_budget <= 0:
+            raise ValueError("per_input_budget must be > 0")
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One invariant violation found by the fuzzer."""
+
+    iteration: int
+    invariant: str
+    detail: str
+    mutations: tuple[str, ...]
+    #: Head of the offending source, enough to reproduce with the seed.
+    snippet: str
+
+    def describe(self) -> str:
+        """One-line human-readable account of the violation."""
+        muts = "+".join(self.mutations) or "(corpus)"
+        return (
+            f"iteration {self.iteration} [{muts}] violated "
+            f"{self.invariant}: {self.detail}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of :func:`run_fuzz`: verdicts, failures, statistics."""
+
+    config: FuzzConfig
+    #: Per-iteration verdict strings (status + error categories), in
+    #: iteration order -- the determinism witness.
+    verdicts: list[str] = field(default_factory=list)
+    #: Per-iteration "+"-joined mutator names, in iteration order.
+    mutations: list[str] = field(default_factory=list)
+    failures: list[FuzzFailure] = field(default_factory=list)
+    #: How often each mutator ran.
+    mutator_counts: dict[str, int] = field(default_factory=dict)
+    #: Count of results per status letter (P=pass, F=fail, C=crashed).
+    status_counts: dict[str, int] = field(default_factory=dict)
+    elapsed: float = 0.0
+    slowest: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held on every iteration."""
+        return not self.failures
+
+    def digest(self) -> str:
+        """SHA-256 over the mutation and verdict sequences.
+
+        Two runs with the same config must produce the same digest;
+        comparing digests is how reproducibility is asserted without
+        shipping the full sequences around.
+        """
+        hasher = hashlib.sha256()
+        for mutation, verdict in zip(self.mutations, self.verdicts):
+            hasher.update(mutation.encode())
+            hasher.update(b"\x00")
+            hasher.update(verdict.encode())
+            hasher.update(b"\x00")
+        return hasher.hexdigest()
+
+    def summary(self) -> str:
+        """Multi-line human-readable run summary."""
+        lines = [
+            f"fuzz seed={self.config.seed} iterations={len(self.verdicts)} "
+            f"elapsed={self.elapsed:.2f}s slowest={self.slowest * 1000:.0f}ms",
+            "status: " + (
+                " ".join(
+                    f"{status}={count}"
+                    for status, count in sorted(self.status_counts.items())
+                ) or "(none)"
+            ),
+            "mutators: " + (
+                " ".join(
+                    f"{name}={count}"
+                    for name, count in sorted(self.mutator_counts.items())
+                ) or "(none)"
+            ),
+            f"digest: {self.digest()}",
+        ]
+        if self.failures:
+            lines.append(f"FAILURES ({len(self.failures)}):")
+            lines.extend("  " + failure.describe() for failure in self.failures)
+        else:
+            lines.append("all invariants held")
+        return "\n".join(lines)
+
+
+def _verdict(result) -> str:
+    """Compact stable verdict for one CompileResult."""
+    if result.crashed:
+        status = "C"
+    elif result.ok:
+        status = "P"
+    else:
+        status = "F"
+    cats = ",".join(c.value for c in result.categories)
+    return f"{status}:{cats}" if cats else status
+
+
+def _fuzz_one(
+    config: FuzzConfig, iteration: int
+) -> tuple[str, dict[str, str], tuple[str, ...]]:
+    """Derive iteration ``iteration``'s input: (code, includes, mutations).
+
+    Pure function of (seed, iteration) -- this is what makes any failing
+    iteration individually replayable.
+    """
+    rng = Random(f"fuzz|{config.seed}|{iteration}")
+    code = rng.choice(SEED_CORPUS)
+    includes: dict[str, str] = {}
+    names = sorted(MUTATORS)
+    picked = tuple(
+        rng.choice(names) for _ in range(rng.randint(1, 3))
+    )
+    for name in picked:
+        code = MUTATORS[name](rng, code, includes)
+    if config.injector is not None:
+        kind = config.injector.decide(
+            "compiler.fuzz", f"{config.seed}|{iteration}"
+        )
+        if kind == "garbage":
+            code = GARBAGE_CODE + "\n" + code
+    return code, includes, picked
+
+
+def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
+    """Run the fuzzer and return a :class:`FuzzReport`.
+
+    Never raises for input-triggered reasons: invariant violations are
+    collected as :class:`FuzzFailure` records (``report.ok`` is the
+    pass/fail signal), so the harness itself honours the never-crash
+    contract it is checking.
+    """
+    from ..diagnostics.compiler import compile_source
+    from .cache import CompileCache, no_compile_cache
+
+    config = config if config is not None else FuzzConfig()
+    report = FuzzReport(config=config)
+    start = time.monotonic()
+
+    for iteration in range(config.iterations):
+        code, includes, picked = _fuzz_one(config, iteration)
+        label = "+".join(picked)
+        report.mutations.append(label)
+        for name in picked:
+            report.mutator_counts[name] = report.mutator_counts.get(name, 0) + 1
+
+        def fail(invariant: str, detail: str) -> None:
+            report.failures.append(
+                FuzzFailure(
+                    iteration=iteration,
+                    invariant=invariant,
+                    detail=detail,
+                    mutations=picked,
+                    snippet=code[:120],
+                )
+            )
+
+        tick = time.monotonic()
+        results = {}
+        try:
+            with no_compile_cache():
+                for flavor in ("iverilog", "quartus"):
+                    result = compile_source(
+                        code,
+                        flavor=flavor,
+                        include_files=includes or None,
+                        limits=config.limits,
+                    )
+                    if not isinstance(result.log, str):
+                        fail("render", f"{flavor} log is not a string")
+                    results[flavor] = result
+        except BaseException as exc:  # the one thing that must not happen
+            fail("no-exception", f"{type(exc).__name__}: {exc}")
+            report.verdicts.append("X")
+            continue
+        took = time.monotonic() - tick
+        report.slowest = max(report.slowest, took)
+        if took > config.per_input_budget:
+            fail(
+                "bounded-time",
+                f"{took:.2f}s > {config.per_input_budget:.2f}s budget",
+            )
+
+        iv, qu = results["iverilog"], results["quartus"]
+        if (iv.ok, iv.crashed) != (qu.ok, qu.crashed):
+            fail(
+                "flavor-agreement",
+                f"iverilog (ok={iv.ok}, crashed={iv.crashed}) != "
+                f"quartus (ok={qu.ok}, crashed={qu.crashed})",
+            )
+
+        verdict = _verdict(iv)
+        report.verdicts.append(verdict)
+        status = verdict.split(":", 1)[0]
+        report.status_counts[status] = report.status_counts.get(status, 0) + 1
+
+        if iteration % _CACHE_CHECK_EVERY == 0:
+            try:
+                cache = CompileCache(maxsize=8)
+                first = cache.compile(
+                    code, include_files=includes or None, limits=config.limits
+                )
+                second = cache.compile(
+                    code, include_files=includes or None, limits=config.limits
+                )
+                if second is not first:
+                    fail("cache-identity", "second lookup missed the cache")
+                if _verdict(first) != verdict:
+                    fail(
+                        "cache-transparency",
+                        f"cached verdict {_verdict(first)!r} != "
+                        f"uncached {verdict!r}",
+                    )
+            except BaseException as exc:
+                fail("no-exception", f"cache path: {type(exc).__name__}: {exc}")
+
+    report.elapsed = time.monotonic() - start
+    return report

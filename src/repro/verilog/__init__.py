@@ -9,6 +9,13 @@ stages together and renders diagnostics in a chosen compiler flavour.
 from .ast import Design, Module
 from .elaborate import ElabDesign, ElabModule, const_eval, elaborate
 from .lexer import Lexer, tokenize
+from .limits import (
+    DEFAULT_LIMITS,
+    FUZZ_LIMITS,
+    LIMIT_KINDS,
+    LimitTracker,
+    ResourceLimits,
+)
 from .literal import ParsedLiteral, format_literal, parse_literal
 from .parser import Parser, parse
 from .preprocessor import PreprocessResult, preprocess
@@ -17,14 +24,19 @@ from .symbols import Scope, Symbol
 from .writer import write_design, write_expr, write_module, write_stmt
 
 __all__ = [
+    "DEFAULT_LIMITS",
     "Design",
     "ElabDesign",
     "ElabModule",
+    "FUZZ_LIMITS",
+    "LIMIT_KINDS",
     "Lexer",
+    "LimitTracker",
     "Module",
     "ParsedLiteral",
     "Parser",
     "PreprocessResult",
+    "ResourceLimits",
     "Scope",
     "SourceFile",
     "Span",

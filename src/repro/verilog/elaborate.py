@@ -26,6 +26,7 @@ from typing import Optional
 from ..diagnostics.codes import ErrorCategory
 from ..diagnostics.diagnostic import Diagnostic, Severity
 from . import ast
+from .limits import LimitTracker
 from .parser import expand_siblings
 from .symbols import Scope, Symbol
 
@@ -160,9 +161,28 @@ def const_eval(expr: ast.Expr, env: dict[str, int] | None = None) -> Optional[in
 
 class Elaborator:
     """Walks a parsed design building ElabModules and running checks."""
-    def __init__(self, design: ast.Design, sink: list[Diagnostic]):
+    def __init__(
+        self,
+        design: ast.Design,
+        sink: list[Diagnostic],
+        tracker: LimitTracker | None = None,
+    ):
         self.design = design
         self.sink = sink
+        #: Resource budgets (statement / instance counts); a private
+        #: default-limits tracker keeps elaboration bounded even when the
+        #: caller did not supply one.
+        self.tracker = tracker if tracker is not None else LimitTracker()
+
+    def _over_budget(self, kind: str, span) -> bool:
+        """Charge one unit of ``kind``; True (with a one-shot diagnostic)
+        once the budget is exhausted."""
+        if self.tracker.charge(kind):
+            return False
+        diag = self.tracker.diagnose(kind, span)
+        if diag is not None:
+            self.sink.append(diag)
+        return True
 
     def error(self, category: ErrorCategory, span, **args: object) -> None:
         self.sink.append(Diagnostic(category, span, dict(args)))
@@ -259,6 +279,8 @@ class Elaborator:
             if cond is None or not cond:
                 break
             for item in gen.items:
+                if self._over_budget("elaborated statements", gen.span):
+                    return produced
                 clone = copy.deepcopy(item)
                 _substitute_ident(clone, gen.genvar, value)
                 if isinstance(clone, ast.Instantiation):
@@ -424,6 +446,8 @@ class Elaborator:
                     )
 
     def _check_stmt(self, elab: ElabModule, stmt: ast.Stmt, scope: Scope, procedural: bool) -> None:
+        if self._over_budget("elaborated statements", getattr(stmt, "span", None)):
+            return
         if isinstance(stmt, ast.Block):
             inner = scope.child()
             for decl in stmt.decls:
@@ -643,6 +667,8 @@ class Elaborator:
     # -- instances ---------------------------------------------------------
 
     def _collect_instance(self, elab: ElabModule, item: ast.Instantiation) -> None:
+        if self._over_budget("elaborated instances", item.span):
+            return
         for conn in item.connections:
             if conn.expr is not None:
                 self._check_expr(elab, conn.expr, elab.scope)
@@ -753,6 +779,16 @@ def _substitute_ident(node: object, name: str, value: int) -> None:
             _substitute_ident(field_value, name, value)
 
 
-def elaborate(design: ast.Design, sink: list[Diagnostic] | None = None) -> ElabDesign:
-    """Elaborate a parsed design, reporting problems into ``sink``."""
-    return Elaborator(design, sink if sink is not None else []).elaborate()
+def elaborate(
+    design: ast.Design,
+    sink: list[Diagnostic] | None = None,
+    tracker: LimitTracker | None = None,
+) -> ElabDesign:
+    """Elaborate a parsed design, reporting problems into ``sink``.
+
+    ``tracker`` carries the statement/instance budgets; one with default
+    limits is created when omitted so elaboration is always bounded.
+    """
+    return Elaborator(
+        design, sink if sink is not None else [], tracker=tracker
+    ).elaborate()

@@ -27,17 +27,32 @@ _DIGITS = set("0123456789")
 
 
 class Lexer:
-    """Tokenizes one :class:`SourceFile`, reporting problems to ``sink``."""
+    """Tokenizes one :class:`SourceFile`, reporting problems to ``sink``.
 
-    def __init__(self, source: SourceFile, sink: list[Diagnostic]):
+    With a :class:`~repro.verilog.limits.LimitTracker` attached, the
+    token stream is budgeted: once ``max_tokens`` is exhausted the lexer
+    reports a single ``RESOURCE_LIMIT`` diagnostic and terminates the
+    stream with EOF instead of chewing through megabytes of garbage.
+    """
+
+    def __init__(self, source: SourceFile, sink: list[Diagnostic], tracker=None):
         self.source = source
         self.text = source.text
         self.pos = 0
         self.sink = sink
+        self.tracker = tracker
 
     def tokenize(self) -> list[Token]:
         tokens: list[Token] = []
         while True:
+            if self.tracker is not None and not self.tracker.charge("tokens"):
+                diag = self.tracker.diagnose(
+                    "tokens", self._span(self.pos, self.pos + 1)
+                )
+                if diag is not None:
+                    self.sink.append(diag)
+                tokens.append(Token(TokenKind.EOF, "", self._span(self.pos)))
+                return tokens
             token = self._next_token()
             tokens.append(token)
             if token.kind is TokenKind.EOF:
@@ -196,7 +211,10 @@ class Lexer:
         return Token(TokenKind.PUNCT, ch, self._span(start))
 
 
-def tokenize(source: SourceFile, sink: list[Diagnostic] | None = None) -> list[Token]:
+def tokenize(
+    source: SourceFile, sink: list[Diagnostic] | None = None, tracker=None
+) -> list[Token]:
     """Convenience wrapper: tokenize ``source``, optionally collecting
-    diagnostics into ``sink`` (discarded when not provided)."""
-    return Lexer(source, sink if sink is not None else []).tokenize()
+    diagnostics into ``sink`` (discarded when not provided) and charging
+    the token budget of ``tracker``."""
+    return Lexer(source, sink if sink is not None else [], tracker=tracker).tokenize()

@@ -14,6 +14,7 @@ from __future__ import annotations
 from ..diagnostics.codes import ErrorCategory
 from ..diagnostics.diagnostic import Diagnostic
 from . import ast
+from .limits import LimitTracker
 from .literal import parse_literal
 from .source import SourceFile, Span
 from .tokens import Token, TokenKind
@@ -49,7 +50,12 @@ class _GiveUp(Exception):
 class Parser:
     """Parses a token stream into a :class:`repro.verilog.ast.Design`."""
 
-    def __init__(self, tokens: list[Token], sink: list[Diagnostic]):
+    def __init__(
+        self,
+        tokens: list[Token],
+        sink: list[Diagnostic],
+        tracker: LimitTracker | None = None,
+    ):
         self.tokens = tokens
         self.pos = 0
         self.sink = sink
@@ -57,6 +63,32 @@ class Parser:
         #: set True when recovery already reported at the current spot, to
         #: suppress duplicate diagnostics for the same token.
         self._just_recovered = False
+        #: Resource budgets; a private tracker with default limits keeps
+        #: deeply-nested input from blowing the Python stack even when the
+        #: caller did not supply one.
+        self.tracker = tracker if tracker is not None else LimitTracker()
+        self._depth = 0
+
+    # -- recursion guard ----------------------------------------------
+
+    def _enter(self) -> None:
+        """Charge one level of recursive-descent nesting.
+
+        Statement and expression recursion both pass through here; when
+        the ``max_parse_depth`` budget is exhausted (e.g. the 10k-deep
+        parenthesis bomb) a single ``RESOURCE_LIMIT`` diagnostic is
+        reported and the parse is abandoned via :class:`_GiveUp` --
+        keeping well clear of Python's own recursion limit.
+        """
+        self._depth += 1
+        if not self.tracker.within("parse nesting depth", self._depth):
+            diag = self.tracker.diagnose("parse nesting depth", self.cur.span)
+            if diag is not None:
+                self.sink.append(diag)
+            raise _GiveUp()
+
+    def _leave(self) -> None:
+        self._depth -= 1
 
     # -- token helpers -------------------------------------------------
 
@@ -253,6 +285,15 @@ class Parser:
     # -- module items ------------------------------------------------------
 
     def parse_module_item(
+        self, ports: list[ast.PortDecl], port_order: list[str]
+    ) -> ast.ModuleItem | None:
+        self._enter()
+        try:
+            return self._parse_module_item_inner(ports, port_order)
+        finally:
+            self._leave()
+
+    def _parse_module_item_inner(
         self, ports: list[ast.PortDecl], port_order: list[str]
     ) -> ast.ModuleItem | None:
         tok = self.cur
@@ -611,6 +652,13 @@ class Parser:
     # -- statements -----------------------------------------------------
 
     def parse_stmt(self) -> ast.Stmt:
+        self._enter()
+        try:
+            return self._parse_stmt_inner()
+        finally:
+            self._leave()
+
+    def _parse_stmt_inner(self) -> ast.Stmt:
         tok = self.cur
         if tok.is_keyword("begin"):
             return self._parse_block()
@@ -824,15 +872,28 @@ class Parser:
         return self._parse_ternary()
 
     def _parse_ternary(self) -> ast.Expr:
-        cond = self._parse_binary(0)
-        if self.accept_punct("?"):
-            then = self._parse_ternary()
-            self.expect_punct(":")
-            other = self._parse_ternary()
-            return ast.Ternary(span=cond.span.to(other.span), cond=cond, then=then, other=other)
-        return cond
+        self._enter()
+        try:
+            cond = self._parse_binary(0)
+            if self.accept_punct("?"):
+                then = self._parse_ternary()
+                self.expect_punct(":")
+                other = self._parse_ternary()
+                return ast.Ternary(
+                    span=cond.span.to(other.span), cond=cond, then=then, other=other
+                )
+            return cond
+        finally:
+            self._leave()
 
     def _parse_binary(self, min_prec: int) -> ast.Expr:
+        self._enter()
+        try:
+            return self._parse_binary_inner(min_prec)
+        finally:
+            self._leave()
+
+    def _parse_binary_inner(self, min_prec: int) -> ast.Expr:
         lhs = self._parse_unary()
         while True:
             tok = self.cur
@@ -848,12 +909,18 @@ class Parser:
             lhs = ast.Binary(span=lhs.span.to(rhs.span), op=tok.value, lhs=lhs, rhs=rhs)
 
     def _parse_unary(self) -> ast.Expr:
-        tok = self.cur
-        if tok.kind is TokenKind.PUNCT and tok.value in _UNARY_OPS:
-            self.advance()
-            operand = self._parse_unary()
-            return ast.Unary(span=tok.span.to(operand.span), op=tok.value, operand=operand)
-        return self._parse_primary()
+        self._enter()
+        try:
+            tok = self.cur
+            if tok.kind is TokenKind.PUNCT and tok.value in _UNARY_OPS:
+                self.advance()
+                operand = self._parse_unary()
+                return ast.Unary(
+                    span=tok.span.to(operand.span), op=tok.value, operand=operand
+                )
+            return self._parse_primary()
+        finally:
+            self._leave()
 
     def _parse_primary(self) -> ast.Expr:
         tok = self.cur
@@ -949,13 +1016,21 @@ class Parser:
         return self._parse_selects(ast.Concat(span=start.span.to(end.span), parts=parts))
 
 
-def parse(source: SourceFile, sink: list[Diagnostic] | None = None) -> ast.Design:
-    """Tokenize and parse ``source`` into a Design, collecting diagnostics."""
+def parse(
+    source: SourceFile,
+    sink: list[Diagnostic] | None = None,
+    tracker: LimitTracker | None = None,
+) -> ast.Design:
+    """Tokenize and parse ``source`` into a Design, collecting diagnostics.
+
+    ``tracker`` carries the token and nesting-depth budgets; one with
+    default limits is created when omitted so parsing is always bounded.
+    """
     from .lexer import tokenize
 
     sink = sink if sink is not None else []
-    tokens = tokenize(source, sink)
-    return Parser(tokens, sink).parse_design()
+    tokens = tokenize(source, sink, tracker=tracker)
+    return Parser(tokens, sink, tracker=tracker).parse_design()
 
 
 def expand_siblings(items: list) -> list:

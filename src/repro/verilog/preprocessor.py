@@ -5,13 +5,22 @@ Supports the directives that actually occur in VerilogEval-style code:
 * ``\`timescale`` -- recorded and stripped (a *misplaced* timescale, i.e.
   one appearing after the first ``module`` keyword, is what the paper's
   rule-based pre-fixer repairs, so we keep track of where it appeared);
-* ``\`define NAME value`` / ``\`NAME`` expansion (object-like macros);
-* ``\`include`` -- resolved against an in-memory file map;
+* ``\`define NAME value`` / ``\`NAME`` expansion (object-like macros,
+  expanded *recursively* with cycle detection -- a self-referential or
+  mutually-recursive ``\`define`` terminates with a diagnostic instead
+  of looping);
+* ``\`include`` -- resolved against an in-memory file map, recursively
+  (included files may define macros and include further files) with a
+  nesting-depth bound against self-includes;
 * ``\`ifdef / \`ifndef / \`else / \`endif`` conditional blocks;
 * ``\`default_nettype`` -- recorded.
 
 Directive lines are blanked in place (newlines preserved) so that token
 spans and line numbers in diagnostics still match the original source.
+All expansion work is budgeted through a
+:class:`~repro.verilog.limits.LimitTracker` (macro-expansion count,
+macro nesting depth, include depth), so macro/include bombs degrade
+into ``RESOURCE_LIMIT`` diagnostics rather than hangs.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from dataclasses import dataclass, field
 
 from ..diagnostics.codes import ErrorCategory
 from ..diagnostics.diagnostic import Diagnostic
+from .limits import LimitTracker
 from .source import SourceFile, Span
 
 _DIRECTIVE_RE = re.compile(r"`([A-Za-z_][A-Za-z0-9_$]*)")
@@ -43,16 +53,24 @@ def preprocess(
     source: SourceFile,
     include_files: dict[str, str] | None = None,
     defines: dict[str, str] | None = None,
+    tracker: LimitTracker | None = None,
+    _macros: dict[str, str] | None = None,
+    _depth: int = 0,
 ) -> PreprocessResult:
     """Expand directives in ``source``.
 
     ``include_files`` maps include names to their text (the environment
     has no real filesystem layout for DUTs).  Unknown macros produce an
     ``UNDECLARED_ID`` diagnostic, matching how compilers report undefined
-    macros as unknown identifiers.
+    macros as unknown identifiers.  ``tracker`` carries the resource
+    budgets (one with default limits is created when omitted);
+    ``_macros``/``_depth`` are internal plumbing for recursive
+    ``\\`include`` expansion and share macro state with the includer.
     """
     include_files = include_files or {}
-    macros: dict[str, str] = dict(defines or {})
+    macros: dict[str, str] = _macros if _macros is not None else dict(defines or {})
+    if tracker is None:
+        tracker = LimitTracker()
     result = PreprocessResult(source=source, defines=macros)
 
     lines = source.text.split("\n")
@@ -68,13 +86,15 @@ def preprocess(
         if stripped.startswith("`"):
             out_lines.append(_handle_directive(
                 line, stripped, lineno, macros, include_files, cond_stack,
-                active, result, source,
+                active, result, source, tracker, _depth,
             ))
             continue
         if not active():
             out_lines.append("")
             continue
-        out_lines.append(_expand_macros(line, lineno, macros, result, source))
+        out_lines.append(
+            _expand_macros(line, lineno, macros, result, source, tracker)
+        )
 
     if cond_stack:
         result.diagnostics.append(
@@ -99,6 +119,8 @@ def _handle_directive(
     active,
     result: PreprocessResult,
     source: SourceFile,
+    tracker: LimitTracker,
+    depth: int,
 ) -> str:
     match = _DIRECTIVE_RE.match(stripped)
     if match is None:
@@ -133,19 +155,12 @@ def _handle_directive(
     elif name == "undef":
         macros.pop(rest.split()[0] if rest else "", None)
     elif name == "include":
-        fname = rest.strip('"<>')
-        if fname in include_files:
-            return include_files[fname].replace("\n", " ")
-        result.diagnostics.append(
-            Diagnostic(
-                ErrorCategory.UNDECLARED_ID,
-                _line_span(source, lineno),
-                {"name": fname, "what": "include file"},
-            )
+        return _expand_include(
+            rest, lineno, macros, include_files, result, source, tracker, depth
         )
     elif name in macros:
         # Object-like macro used at the start of a line.
-        return _expand_macros(line, lineno, macros, result, source)
+        return _expand_macros(line, lineno, macros, result, source, tracker)
     else:
         result.diagnostics.append(
             Diagnostic(
@@ -157,28 +172,119 @@ def _handle_directive(
     return ""
 
 
+def _expand_include(
+    rest: str,
+    lineno: int,
+    macros: dict[str, str],
+    include_files: dict[str, str],
+    result: PreprocessResult,
+    source: SourceFile,
+    tracker: LimitTracker,
+    depth: int,
+) -> str:
+    """Expand one ``\\`include`` directive, recursively and bounded.
+
+    The included text is preprocessed in full (its ``\\`define`` s land
+    in the shared macro table, its own includes nest) and inlined on one
+    output line so the includer's line numbers stay stable.  A nesting
+    depth past ``max_include_depth`` -- the self-include bomb -- stops
+    with a single ``RESOURCE_LIMIT`` diagnostic.
+    """
+    fname = rest.strip('"<>')
+    if fname not in include_files:
+        result.diagnostics.append(
+            Diagnostic(
+                ErrorCategory.UNDECLARED_ID,
+                _line_span(source, lineno),
+                {"name": fname, "what": "include file"},
+            )
+        )
+        return ""
+    if not tracker.within("include nesting depth", depth + 1):
+        diag = tracker.diagnose("include nesting depth", _line_span(source, lineno))
+        if diag is not None:
+            result.diagnostics.append(diag)
+        return ""
+    sub = preprocess(
+        SourceFile(fname, include_files[fname]),
+        include_files=include_files,
+        tracker=tracker,
+        _macros=macros,
+        _depth=depth + 1,
+    )
+    result.diagnostics.extend(sub.diagnostics)
+    if result.timescale is None:
+        result.timescale = sub.timescale
+    if result.default_nettype is None:
+        result.default_nettype = sub.default_nettype
+    return sub.source.text.replace("\n", " ")
+
+
 def _expand_macros(
     line: str,
     lineno: int,
     macros: dict[str, str],
     result: PreprocessResult,
     source: SourceFile,
+    tracker: LimitTracker,
+    stack: tuple[str, ...] = (),
 ) -> str:
+    """Expand ``\\`NAME`` uses in ``line``, recursively and bounded.
+
+    Macro bodies are re-expanded (so chained defines resolve), with
+    three guards that each terminate cleanly in a diagnostic: an active
+    expansion *stack* catches self-referential / mutually-recursive
+    defines, a depth bound catches deep non-cyclic chains, and a total
+    expansion budget catches exponential fan-out (macro bombs).
+    """
     if "`" not in line:
         return line
 
     def repl(match: re.Match[str]) -> str:
         name = match.group(1)
-        if name in macros:
-            return macros[name]
-        result.diagnostics.append(
-            Diagnostic(
-                ErrorCategory.UNDECLARED_ID,
-                _line_span(source, lineno),
-                {"name": name, "what": "macro"},
+        if name not in macros:
+            result.diagnostics.append(
+                Diagnostic(
+                    ErrorCategory.UNDECLARED_ID,
+                    _line_span(source, lineno),
+                    {"name": name, "what": "macro"},
+                )
             )
+            return "0"
+        if name in stack:
+            # The termination bugfix: a `define cycle must not recurse
+            # forever.  Report once per macro name, substitute a benign
+            # token and carry on.
+            key = f"recursive macro `{name}`"
+            if key not in tracker.reported:
+                tracker.reported.add(key)
+                result.diagnostics.append(
+                    Diagnostic(
+                        ErrorCategory.RESOURCE_LIMIT,
+                        _line_span(source, lineno),
+                        {"what": key + " expansion",
+                         "limit": tracker.limits.max_macro_depth},
+                    )
+                )
+            return "0"
+        if not tracker.within("macro nesting depth", len(stack) + 1):
+            diag = tracker.diagnose(
+                "macro nesting depth", _line_span(source, lineno)
+            )
+            if diag is not None:
+                result.diagnostics.append(diag)
+            return "0"
+        if not tracker.charge("macro expansions"):
+            diag = tracker.diagnose(
+                "macro expansions", _line_span(source, lineno)
+            )
+            if diag is not None:
+                result.diagnostics.append(diag)
+            return "0"
+        return _expand_macros(
+            macros[name], lineno, macros, result, source, tracker,
+            stack + (name,),
         )
-        return "0"
 
     return _DIRECTIVE_RE.sub(repl, line)
 

@@ -1,0 +1,27 @@
+`define F0 x
+`define F1 `F0 `F0
+`define F2 `F1 `F1
+`define F3 `F2 `F2
+`define F4 `F3 `F3
+`define F5 `F4 `F4
+`define F6 `F5 `F5
+`define F7 `F6 `F6
+`define F8 `F7 `F7
+`define F9 `F8 `F8
+`define F10 `F9 `F9
+`define F11 `F10 `F10
+`define F12 `F11 `F11
+`define F13 `F12 `F12
+`define F14 `F13 `F13
+`define F15 `F14 `F14
+`define F16 `F15 `F15
+`define F17 `F16 `F16
+`define F18 `F17 `F17
+`define F19 `F18 `F18
+`define F20 `F19 `F19
+`define F21 `F20 `F20
+`define F22 `F21 `F21
+`define F23 `F22 `F22
+`define CYC_A `CYC_B
+`define CYC_B `CYC_A
+module bomb; wire w = `F23; wire v = `CYC_A; endmodule

@@ -1,0 +1,4 @@
+module trunc(input clk, input [7:0] d, output reg [7:0] q);
+  always @(posedge clk) begin
+    q <= d + 8'h0f + "unterminated /* also unterminated
+    q <= (d << 

@@ -94,3 +94,37 @@ class TestEndToEnd:
             "assign y = ~a;\nendmodule"
         )
         assert compile_source(code).ok
+
+
+class TestRecursiveDefines:
+    """Regression: macro cycles must terminate with a diagnostic
+    instead of hanging or blowing the stack (PR 3)."""
+
+    def test_two_macro_cycle_terminates(self):
+        result = pp("`define A `B\n`define B `A\nwire x = `A;")
+        assert ErrorCategory.RESOURCE_LIMIT in {
+            d.category for d in result.diagnostics
+        }
+
+    def test_self_reference_terminates(self):
+        result = pp("`define X (`X)\nwire x = `X;")
+        assert ErrorCategory.RESOURCE_LIMIT in {
+            d.category for d in result.diagnostics
+        }
+
+    def test_cycle_diagnostic_reported_once_per_macro(self):
+        result = pp("`define A `B\n`define B `A\nwire x = `A;\nwire y = `A;")
+        cycle = [
+            d for d in result.diagnostics
+            if d.category is ErrorCategory.RESOURCE_LIMIT
+        ]
+        assert len(cycle) == 1
+
+    def test_deep_but_acyclic_chain_expands(self):
+        lines = ["`define D0 1"]
+        for i in range(1, 10):
+            lines.append(f"`define D{i} `D{i - 1}")
+        lines.append("wire x = `D9;")
+        result = pp("\n".join(lines))
+        assert not result.diagnostics
+        assert "1" in result.source.text
