@@ -23,6 +23,7 @@ from repro.eval import render_table, run_table2
 from repro.eval.runner import run_fix_experiment
 from repro.runtime import (
     CompileCache,
+    Journal,
     ParallelRunner,
     no_compile_cache,
     use_compile_cache,
@@ -163,3 +164,60 @@ def test_table2_reference_compilation_avoided(benchmark):
     # Wall-clock here is dominated by simulation, so the compile saving is
     # a few percent -- reported above, asserted robustly (with a 5x floor)
     # in test_compile_cache_cold_vs_warm instead of flakily here.
+
+
+def test_journal_overhead_per_trial(benchmark, tmp_path):
+    """Durability must stay cheap: the fsync'd journal append is the only
+    per-trial cost a ``--run-dir`` run adds, measured both micro
+    (append-only) and end-to-end (durable vs plain run_fix_experiment)."""
+    # micro: cost of one durable (fsync'd) append of a realistic record
+    record = {
+        "key": "0" * 64, "stage": "table1/react/quartus/rag",
+        "skipped": False, "result": {"__tuple__": [True, 3]},
+    }
+    appends = 200
+    journal = Journal(str(tmp_path / "micro.jsonl"))
+
+    def append_many():
+        for _ in range(appends):
+            journal.append(record)
+
+    benchmark.pedantic(append_many, rounds=3, iterations=1)
+    _, t_appends = _timed(append_many)
+    journal.close()
+    per_append_ms = t_appends / appends * 1000
+
+    # end-to-end: identical experiment with and without a run directory
+    dataset = build_syntax_dataset(
+        CORPUS, samples_per_problem=2, seed=0, target_size=12
+    )
+    with use_compile_cache():
+        plain, t_plain = _timed(
+            lambda: run_fix_experiment(dataset, RTLFixer(), repeats=2)
+        )
+    with use_compile_cache():
+        durable, t_durable = _timed(
+            lambda: run_fix_experiment(
+                dataset, RTLFixer(run_dir=str(tmp_path / "run")), repeats=2
+            )
+        )
+    assert durable.fixed_counts == plain.fixed_counts  # durability is free
+    trials = len(dataset) * 2
+    per_trial_ms = max(0.0, t_durable - t_plain) / trials * 1000
+
+    benchmark.extra_info["fsync_append_ms"] = round(per_append_ms, 3)
+    benchmark.extra_info["plain_seconds"] = round(t_plain, 3)
+    benchmark.extra_info["durable_seconds"] = round(t_durable, 3)
+    benchmark.extra_info["journal_overhead_ms_per_trial"] = round(per_trial_ms, 3)
+    report(
+        "Runtime: journal overhead per trial (durable vs plain run)",
+        render_table(
+            ["trials", "plain (s)", "durable (s)",
+             "overhead/trial (ms)", "fsync append (ms)"],
+            [[trials, f"{t_plain:.2f}", f"{t_durable:.2f}",
+              f"{per_trial_ms:.2f}", f"{per_append_ms:.3f}"]],
+        ),
+    )
+    # An fsync'd append must stay far below the cost of one trial (tens
+    # of ms of fix work): 25ms is generous even for slow CI disks.
+    assert per_append_ms < 25, f"journal append too slow: {per_append_ms:.1f}ms"

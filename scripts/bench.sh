@@ -12,6 +12,10 @@
 # front-end that crashes on hostile input, are not worth recording.
 # Skip them with REPRO_BENCH_SKIP_CHAOS=1 / REPRO_BENCH_SKIP_FUZZ=1.
 #
+# The runtime benches include the durable-run journal overhead
+# (fsync'd append cost and ms-per-trial of a --run-dir run vs a plain
+# one) under extra_info in the emitted BENCH_*.json.
+#
 # Extra pytest arguments can follow the optional --all flag.
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # One-command CI gate: tier-1 tests, the chaos (fault-injection) suite,
-# and a 200-iteration compiler front-end fuzz smoke.  Exits non-zero if
-# any stage fails; later stages still run so one log shows every break.
+# a 200-iteration compiler front-end fuzz smoke, and the durable-run
+# resume smoke (run, SIGKILL, resume, compare report digests).  Exits
+# non-zero if any stage fails; later stages still run so one log shows
+# every break.
 #
 # Usage:
-#   scripts/ci.sh                # all three stages
+#   scripts/ci.sh                # all four stages
 #   FUZZ_ITERATIONS=1000 scripts/ci.sh   # deeper fuzz stage
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -21,6 +23,9 @@ python -m pytest tests/test_faults.py -m chaos -q || status=1
 
 echo "== fuzz smoke ($iterations iterations, seed 0) =="
 python -m repro.cli fuzz --seed 0 --iterations "$iterations" || status=1
+
+echo "== resume smoke (run, kill -9, resume, compare digests) =="
+python scripts/resume_smoke.py || status=1
 
 if [[ "$status" -eq 0 ]]; then
     echo "CI: all stages passed"

@@ -7,7 +7,11 @@ Subcommands:
 * ``dataset <out.json>``-- build the VerilogEval-syntax-equivalent
   dataset and save it as JSON;
 * ``report``            -- run the full reproduction report (every
-  table/figure), optionally fanned out with ``--jobs``;
+  table/figure), optionally fanned out with ``--jobs`` and made
+  durable/resumable with ``--run-dir`` / ``--resume``.  Exit codes:
+  0 success, 2 durable-run misuse, 3 failed work units were isolated,
+  4 the circuit breaker tripped, 128+signum interrupted (first
+  SIGINT/SIGTERM drains and checkpoints; a second aborts hard);
 * ``fuzz``              -- fuzz the compiler front-end and verify its
   never-crash/never-hang invariants (``--seed``/``--iterations``).
 """
@@ -92,9 +96,32 @@ def _job_count(text: str) -> int:
     return value
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    from .eval.report import ReportScale, run_full_report
+#: ``report`` exit codes beyond the usual 0/1 (documented in README):
+#: misuse of the durable-run machinery (bad --resume, manifest mismatch).
+EXIT_CHECKPOINT_MISUSE = 2
+#: the run finished but isolated at least one failed work unit.
+EXIT_FAILED_UNITS = 3
+#: the circuit breaker tripped (trials were skipped fail-fast).
+EXIT_BREAKER_TRIPPED = 4
 
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import signal as _signal
+
+    from .errors import CheckpointError, RunInterrupted
+    from .eval.report import ReportScale, run_full_report
+    from .runtime import GracefulShutdown, atomic_write_text
+
+    if args.resume and not args.run_dir:
+        print("error: --resume requires --run-dir", file=sys.stderr)
+        return EXIT_CHECKPOINT_MISUSE
+    if args.breaker_threshold > 0 and args.on_error != "collect":
+        print(
+            "error: --breaker-threshold requires --on-error collect "
+            "(skipped trials are collected records, not exceptions)",
+            file=sys.stderr,
+        )
+        return EXIT_CHECKPOINT_MISUSE
     scale = ReportScale(
         dataset_size=args.dataset_size,
         dataset_samples_per_problem=args.dataset_samples,
@@ -104,15 +131,32 @@ def _cmd_report(args: argparse.Namespace) -> int:
         include_gpt4=not args.no_gpt4,
         simfix_samples_per_problem=args.simfix_samples,
     )
-    report = run_full_report(
-        scale=scale,
-        jobs=args.jobs,
-        on_error=args.on_error,
-        progress=lambda stage: print(f"[{stage}]", file=sys.stderr),
-    )
+    try:
+        with GracefulShutdown() as shutdown:
+            report = run_full_report(
+                scale=scale,
+                jobs=args.jobs,
+                on_error=args.on_error,
+                progress=lambda stage: print(f"[{stage}]", file=sys.stderr),
+                run_dir=args.run_dir,
+                resume=args.resume,
+                breaker_threshold=args.breaker_threshold,
+                should_stop=shutdown.requested,
+            )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CHECKPOINT_MISUSE
+    except RunInterrupted as exc:
+        signum = shutdown.signum or exc.signum or _signal.SIGINT
+        hint = (
+            f"; resume with: rtlfixer report --run-dir {args.run_dir} --resume"
+            if args.run_dir
+            else "; pass --run-dir to make interrupted runs resumable"
+        )
+        print(f"# interrupted: {exc}{hint}", file=sys.stderr)
+        return 128 + int(signum)
     if args.json:
-        with open(args.json, "w") as f:
-            f.write(report.to_json())
+        atomic_write_text(args.json, report.to_json())
         print(f"wrote {args.json}")
     else:
         print(report.to_markdown())
@@ -124,6 +168,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"(hit rate {stats['hit_rate']:.1%})",
         file=sys.stderr,
     )
+    if args.run_dir:
+        print(
+            f"# durable run: {report.resume.get('replayed', 0)} trial(s) "
+            f"replayed from the journal, {report.resume.get('executed', 0)} "
+            f"executed ({args.run_dir})",
+            file=sys.stderr,
+        )
+    if report.breaker_tripped:
+        print(
+            f"# circuit breaker TRIPPED {report.breaker['trips']} time(s): "
+            f"{report.breaker['skipped']} trial(s) skipped fail-fast "
+            f"(final state: {report.breaker['state']})",
+            file=sys.stderr,
+        )
     if args.on_error == "collect":
         detail = ", ".join(f"{k}={v}" for k, v in report.failures.items())
         print(
@@ -131,6 +189,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
             f"({detail})",
             file=sys.stderr,
         )
+    if report.breaker_tripped:
+        return EXIT_BREAKER_TRIPPED
+    if report.failed_units:
+        return EXIT_FAILED_UNITS
     return 0
 
 
@@ -217,7 +279,27 @@ def build_parser() -> argparse.ArgumentParser:
         "the run (counts are reported per stage)",
     )
     rep.add_argument("--json", metavar="OUT",
-                     help="write the report as JSON here instead of markdown")
+                     help="write the report as JSON here instead of markdown "
+                     "(written atomically: write-temp-then-rename)")
+    rep.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="make the run durable: journal every completed trial into "
+        "DIR (crash-safe, fsync'd) and write DIR/report.json on success; "
+        "a killed run can be continued with --resume",
+    )
+    rep.add_argument(
+        "--resume", action="store_true",
+        help="resume a previous --run-dir run: replay journaled trials "
+        "and execute only the remainder (the final report is "
+        "byte-identical to an uninterrupted run)",
+    )
+    rep.add_argument(
+        "--breaker-threshold", type=int, default=0, metavar="N",
+        help="arm a circuit breaker: after N consecutive non-transient "
+        "trial failures the rest of the run is skipped fail-fast "
+        "(requires --on-error collect; 0 disables; exit code 4 when "
+        "tripped)",
+    )
     rep.add_argument("--dataset-size", type=int, default=212)
     rep.add_argument("--dataset-samples", type=int, default=20)
     rep.add_argument("--repeats", type=int, default=3)

@@ -52,6 +52,19 @@ class RTLFixerConfig:
     #: feedback, so a macro-bomb candidate degrades into a not-fixed
     #: trial instead of hanging or aborting a run.
     compile_limits: Optional[ResourceLimits] = None
+    #: Durable-run directory (repro.runtime.RunState): every completed
+    #: trial is journaled there the moment it finishes, so a killed run
+    #: resumes by replaying the journal and dispatching only the
+    #: remainder.  None disables durability.  Like ``jobs``/``on_error``
+    #: this is an execution knob -- it is excluded from the trial-key
+    #: config digest and never changes results.
+    run_dir: Optional[str] = None
+    #: Circuit-breaker trip threshold: after this many *consecutive*
+    #: non-transient trial failures the rest of the run fails fast as
+    #: journaled SKIPPED trials (repro.runtime.CircuitBreaker).  0
+    #: disables the breaker.  Requires ``on_error="collect"`` to have
+    #: any effect (skips are collected records, not exceptions).
+    breaker_threshold: int = 0
 
     def __post_init__(self) -> None:
         if self.prompting not in ("react", "oneshot"):
@@ -80,6 +93,10 @@ class RTLFixerConfig:
         ):
             raise ValueError(
                 "compile_limits must be a ResourceLimits instance or None"
+            )
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                "breaker_threshold must be >= 0 (0 disables the breaker)"
             )
 
     def label(self) -> str:

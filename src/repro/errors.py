@@ -85,6 +85,44 @@ class InjectedFault(TransientError):
     (:mod:`repro.runtime.faults`), never by production code paths."""
 
 
+class CheckpointError(ReproError):
+    """A durable run directory could not be used (manifest mismatch,
+    journal clobber without ``--resume``, undecodable journal payload).
+
+    Raised before any trial executes: checkpoint misuse must fail fast,
+    never silently discard or overwrite a previous run's journal.
+    """
+
+
+class CircuitOpenError(TransientError):
+    """A work unit was skipped because the circuit breaker is open.
+
+    Recorded (never raised through the executor) as the ``error_type``
+    of the SKIPPED :class:`repro.runtime.WorkFailure` slots a tripped
+    breaker produces.  It derives :class:`TransientError` because the
+    condition is expected to clear: a resumed run re-executes skipped
+    trials instead of replaying them from the journal.
+    """
+
+
+class RunInterrupted(ReproError):
+    """A graceful shutdown stopped an experiment run mid-way.
+
+    Raised by :meth:`repro.runtime.ParallelRunner.map` after the first
+    SIGINT/SIGTERM: dispatch stops, in-flight work units drain (and are
+    journaled), then this propagates so the caller can exit with a
+    resumable checkpoint.  Carries how far the interrupted stage got and
+    the signal number (for a faithful ``128 + signum`` exit code).
+    """
+
+    def __init__(self, message: str, done: int = 0, total: int = 0,
+                 signum: int | None = None):
+        super().__init__(message)
+        self.done = done
+        self.total = total
+        self.signum = signum
+
+
 class RetryExhaustedError(ReproError):
     """A retried call kept failing past its retry budget.
 

@@ -24,7 +24,14 @@ from ..dataset.curate import SyntaxDataset, build_syntax_dataset
 from ..dataset.generate import GenerationModel
 from ..dataset.problem import Problem, ProblemSet
 from ..diagnostics import compile_source
-from ..runtime import ParallelRunner, WorkFailure, cached_compile
+from ..runtime import (
+    ParallelRunner,
+    RunContext,
+    WorkFailure,
+    cached_compile,
+    config_digest,
+    unit_key,
+)
 from .metrics import pass_at_k_single
 from .runner import FixExperimentResult, evaluate_code, evaluate_sample, run_fix_experiment
 from .tables import render_table
@@ -112,12 +119,15 @@ def run_table1(
     progress=None,
     jobs: Optional[int] = None,
     on_error: Optional[str] = None,
+    ctx: Optional[RunContext] = None,
 ) -> Table1Result:
     """Fix rate for One-shot vs ReAct, w/ and w/o RAG, across feedback
     qualities, plus the GPT-4 ablation column (§4.2, §4.3).  ``jobs``
     fans each configuration's trials across workers; ``on_error``
     selects abort-vs-isolate semantics for failed trials (see
-    :func:`~repro.eval.runner.run_fix_experiment`)."""
+    :func:`~repro.eval.runner.run_fix_experiment`); ``ctx`` makes every
+    cell's trials durable/resumable (each cell is its own journal
+    stage)."""
     result = Table1Result()
     grid: list[tuple[str, str, str, bool]] = []
     for prompting in ("oneshot", "react"):
@@ -139,7 +149,8 @@ def run_table1(
         )
         run = run_fix_experiment(
             dataset, fixer, repeats=repeats, progress=progress, jobs=jobs,
-            on_error=on_error,
+            on_error=on_error, ctx=ctx,
+            stage=f"table1/{label}/{compiler}/{'rag' if rag else 'norag'}",
         )
         result.rates[(label, compiler, rag)] = run.rate
         result.details[(label, compiler, rag)] = run
@@ -308,6 +319,7 @@ def run_table2(
     jobs: Optional[int] = None,
     runner: Optional[ParallelRunner] = None,
     on_error: Optional[str] = None,
+    ctx: Optional[RunContext] = None,
 ) -> Table2Result:
     """Pass@k before/after fixing syntax errors (§4.2, Table 2 + Fig. 4).
 
@@ -316,10 +328,13 @@ def run_table2(
     serial path.  ``progress`` receives ``(benchmark, done, total)`` per
     completed problem.  ``on_error`` (default: the fixer config's
     setting) selects abort-vs-isolate handling of failed problems.
+    ``ctx`` journals each (benchmark, problem) outcome for resume.
     """
     config = fixer_config or RTLFixerConfig()
     if on_error is None:
         on_error = config.on_error
+    if ctx is None:
+        ctx = RunContext()
     if runner is None:
         runner = ParallelRunner(jobs=config.jobs if jobs is None else jobs)
     problem_list = list(problems)
@@ -337,6 +352,15 @@ def run_table2(
         for benchmark in benchmarks
         for problem in problem_list
     ]
+    cfg_digest = config_digest(config)
+    keys = [
+        unit_key(
+            "table2", benchmark=unit.benchmark, problem=unit.problem.id,
+            n_samples=unit.n_samples, sim_samples=unit.sim_samples,
+            config=cfg_digest, seed=unit.seed,
+        )
+        for unit in units
+    ]
     tick = None
     if progress is not None:
         done_per_bench = {benchmark: 0 for benchmark in benchmarks}
@@ -345,8 +369,9 @@ def run_table2(
             done_per_bench[unit.benchmark] += 1
             progress(unit.benchmark, done_per_bench[unit.benchmark], len(problem_list))
 
-    outcomes = runner.map(
-        _table2_problem_outcome, units, progress=tick, on_error=on_error
+    outcomes = ctx.map(
+        runner, _table2_problem_outcome, units, keys=keys, stage="table2",
+        progress=tick, on_error=on_error,
     )
 
     result = Table2Result()
@@ -435,11 +460,15 @@ def run_table3(
     jobs: Optional[int] = None,
     runner: Optional[ParallelRunner] = None,
     on_error: str = "raise",
+    ctx: Optional[RunContext] = None,
 ) -> Table3Result:
     """Generalization to the RTLLM-style corpus *without* any new RAG
     entries (§4.2, Table 3).  ``jobs`` fans problems across workers;
-    ``on_error="collect"`` isolates failed problems instead of aborting."""
+    ``on_error="collect"`` isolates failed problems instead of aborting;
+    ``ctx`` journals per-problem counts for resume."""
     result = Table3Result()
+    if ctx is None:
+        ctx = RunContext()
     if runner is None:
         runner = ParallelRunner(jobs=jobs)
     problem_list = list(problems)
@@ -451,11 +480,20 @@ def run_table3(
         )
         for problem in problem_list
     ]
+    cfg_digest = config_digest(RTLFixerConfig())  # the stock Table 3 fixer
+    keys = [
+        unit_key(
+            "table3", problem=unit.problem.id, n_samples=unit.n_samples,
+            sim_samples=unit.sim_samples, config=cfg_digest, seed=unit.seed,
+        )
+        for unit in units
+    ]
     tick = None
     if progress is not None:
         tick = lambda done, total, unit: progress(done, total)  # noqa: E731
-    outcomes = runner.map(
-        _table3_problem_counts, units, progress=tick, on_error=on_error
+    outcomes = ctx.map(
+        runner, _table3_problem_counts, units, keys=keys, stage="table3",
+        progress=tick, on_error=on_error,
     )
     counts = []
     for outcome in outcomes:
@@ -526,12 +564,13 @@ def run_figure7(
     progress=None,
     jobs: Optional[int] = None,
     on_error: Optional[str] = None,
+    ctx: Optional[RunContext] = None,
 ) -> Figure7Result:
     """Histogram of ReAct iterations needed per successful fix."""
     fixer = RTLFixer()  # the paper's headline config
     run = run_fix_experiment(
         dataset, fixer, repeats=repeats, progress=progress, jobs=jobs,
-        on_error=on_error,
+        on_error=on_error, ctx=ctx, stage="figure7",
     )
     result = Figure7Result(failures=list(run.failures))
     for iterations in run.iterations:
@@ -679,13 +718,17 @@ def run_simfix_extension(
     jobs: Optional[int] = None,
     runner: Optional[ParallelRunner] = None,
     on_error: str = "raise",
+    ctx: Optional[RunContext] = None,
 ) -> SimFixExtensionResult:
     """Generate logic-buggy (compiling, functionally wrong) samples and
     let the simulation-debugging agent try to repair them.  ``jobs``
     fans problems across workers; ``on_error="collect"`` isolates
-    failed problems instead of aborting."""
+    failed problems instead of aborting; ``ctx`` journals per-problem
+    counts for resume."""
     result = SimFixExtensionResult()
     counts: dict[str, list[int]] = {"easy": [0, 0], "hard": [0, 0]}
+    if ctx is None:
+        ctx = RunContext()
     if runner is None:
         runner = ParallelRunner(jobs=jobs)
     units = [
@@ -695,11 +738,21 @@ def run_simfix_extension(
         )
         for problem in problems
     ]
+    keys = [
+        unit_key(
+            "simfix", problem=unit.problem.id,
+            samples_per_problem=unit.samples_per_problem,
+            sim_samples=unit.sim_samples, max_iterations=unit.max_iterations,
+            seed=unit.seed,
+        )
+        for unit in units
+    ]
     tick = None
     if progress is not None:
         tick = lambda done, total, unit: progress(done, total)  # noqa: E731
-    for outcome in runner.map(
-        _simfix_problem_counts, units, progress=tick, on_error=on_error
+    for outcome in ctx.map(
+        runner, _simfix_problem_counts, units, keys=keys, stage="simfix",
+        progress=tick, on_error=on_error,
     ):
         if isinstance(outcome, WorkFailure):
             result.failures.append(outcome)

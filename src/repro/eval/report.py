@@ -4,18 +4,31 @@
 4-7, the §5 extension) at a configurable scale and produces a
 paper-vs-measured report as structured data, JSON, or markdown --
 convenient for regenerating EXPERIMENTS.md after changes.
+
+With ``run_dir=`` the run is *durable*: every completed work unit is
+journaled the moment it finishes, a checkpoint manifest pins the run's
+scale, and ``resume=True`` replays journaled trials so a killed run
+re-executes only the remainder -- producing a report JSON byte-identical
+to an uninterrupted run (``to_json`` deliberately excludes volatile
+runtime telemetry like compile-cache counters for exactly this reason).
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..dataset.corpus import verilogeval
 from ..dataset.curate import SyntaxDataset, build_syntax_dataset
 from ..dataset.rtllm import rtllm
-from ..runtime import CompileCache, use_compile_cache
+from ..runtime import (
+    CircuitBreaker,
+    CompileCache,
+    RunContext,
+    RunState,
+    use_compile_cache,
+)
 from .experiments import (
     PAPER_TABLE1,
     PAPER_TABLE2,
@@ -61,6 +74,15 @@ class FullReport:
     #: stage -> number of failed work units (nonzero only under
     #: ``on_error="collect"``; an aborting run never gets here).
     failures: dict = field(default_factory=dict)
+    #: Circuit-breaker snapshot (state, trips, skipped trials) when a
+    #: breaker was armed; empty otherwise.  Runtime telemetry -- not
+    #: part of ``to_json`` (it would differ between an interrupted and
+    #: an uninterrupted run).
+    breaker: dict = field(default_factory=dict)
+    #: Replay/execute telemetry for durable runs (how many work units
+    #: were served from the journal vs dispatched).  Runtime telemetry
+    #: -- excluded from ``to_json`` like ``cache``/``breaker``.
+    resume: dict = field(default_factory=dict)
     rendered: dict = field(default_factory=dict)
 
     @property
@@ -68,7 +90,19 @@ class FullReport:
         """Total failed work units across every experiment stage."""
         return sum(self.failures.values())
 
+    @property
+    def breaker_tripped(self) -> bool:
+        """Whether the circuit breaker tripped at least once this run."""
+        return bool(self.breaker.get("trips", 0))
+
     def to_json(self) -> str:
+        """Deterministic report JSON.
+
+        Only experiment *results* are included.  Runtime telemetry
+        (``cache``, ``breaker``, ``resume``) is deliberately excluded so
+        a resumed run's report is byte-identical to an uninterrupted
+        one -- telemetry lives on the report object and in the markdown.
+        """
         payload = {
             "scale": vars(self.scale),
             "table1": {" ".join(map(str, k)): v for k, v in self.table1.items()},
@@ -78,7 +112,6 @@ class FullReport:
             "figure7": {str(k): v for k, v in self.figure7.items()},
             "figure6": self.figure6,
             "simfix": self.simfix,
-            "cache": self.cache,
             "failures": self.failures,
         }
         return json.dumps(payload, indent=2)
@@ -86,10 +119,21 @@ class FullReport:
     def to_markdown(self) -> str:
         sections = ["# Reproduction report\n"]
         for name in ("table1", "table2", "table3", "figure4", "figure7",
-                     "figure6", "simfix", "cache", "failures"):
+                     "figure6", "simfix", "cache", "resume", "breaker",
+                     "failures"):
             if name in self.rendered:
                 sections.append(f"## {name}\n\n```\n{self.rendered[name]}\n```\n")
         return "\n".join(sections)
+
+
+def report_manifest(scale: ReportScale) -> dict:
+    """The checkpoint manifest pinning a full-report run's identity.
+
+    Only result-relevant parameters participate (the scale); execution
+    knobs (``jobs``, ``on_error``, breaker threshold) are free to change
+    between a run and its resume.
+    """
+    return {"kind": "full_report", "scale": vars(scale)}
 
 
 def run_full_report(
@@ -98,6 +142,10 @@ def run_full_report(
     progress=None,
     jobs: Optional[int] = None,
     on_error: str = "raise",
+    run_dir: Optional[str] = None,
+    resume: bool = False,
+    breaker_threshold: int = 0,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> FullReport:
     """Run every experiment and collect a paper-vs-measured report.
 
@@ -107,20 +155,55 @@ def run_full_report(
     CPUs) without changing any result.  ``on_error="collect"`` turns on
     failure isolation: failed work units are recorded per stage in
     ``report.failures`` instead of aborting the whole report.
+
+    ``run_dir`` makes the run durable: a :class:`~repro.runtime.RunState`
+    journals every completed work unit and ``resume=True`` replays the
+    journal so only the remainder executes -- the final report (written
+    atomically to ``run_dir/report.json``) is byte-identical to an
+    uninterrupted run.  ``breaker_threshold`` arms a circuit breaker
+    (requires ``on_error="collect"``); ``should_stop`` is polled between
+    dispatches for graceful shutdown and raises
+    :class:`~repro.errors.RunInterrupted` once in-flight work drains.
     """
     scale = scale or ReportScale()
+    if breaker_threshold > 0 and on_error != "collect":
+        raise ValueError(
+            "breaker_threshold requires on_error='collect' (skipped "
+            "trials are collected records, not exceptions)"
+        )
+    breaker = CircuitBreaker(breaker_threshold) if breaker_threshold > 0 else None
+    state: Optional[RunState] = None
+    if run_dir is not None:
+        state = RunState(run_dir)
+        state.ensure_manifest(report_manifest(scale), resume=resume)
+    ctx = RunContext(state=state, breaker=breaker, should_stop=should_stop)
     cache = CompileCache()
-    with use_compile_cache(cache):
-        report = _run_experiments(scale, dataset, progress, jobs, on_error)
-    report.cache = cache.stats.as_dict()
-    report.rendered["cache"] = "\n".join(
-        f"{key}: {value}" for key, value in report.cache.items()
-    )
-    report.rendered["failures"] = "\n".join(
-        f"{stage}: {count} failed work unit(s)"
-        for stage, count in report.failures.items()
-    ) + f"\ntotal: {report.failed_units}"
-    return report
+    try:
+        with use_compile_cache(cache):
+            report = _run_experiments(scale, dataset, progress, jobs, on_error, ctx)
+        report.cache = cache.stats.as_dict()
+        report.resume = ctx.stats()
+        report.rendered["cache"] = "\n".join(
+            f"{key}: {value}" for key, value in report.cache.items()
+        )
+        report.rendered["resume"] = "\n".join(
+            f"{key}: {value}" for key, value in report.resume.items()
+        )
+        if breaker is not None:
+            report.breaker = breaker.snapshot()
+            report.rendered["breaker"] = "\n".join(
+                f"{key}: {value}" for key, value in report.breaker.items()
+            )
+        report.rendered["failures"] = "\n".join(
+            f"{stage}: {count} failed work unit(s)"
+            for stage, count in report.failures.items()
+        ) + f"\ntotal: {report.failed_units}"
+        if state is not None:
+            state.write_report(report.to_json())
+        return report
+    finally:
+        if state is not None:
+            state.close()
 
 
 def _run_experiments(
@@ -129,6 +212,7 @@ def _run_experiments(
     progress,
     jobs: Optional[int],
     on_error: str,
+    ctx: RunContext,
 ) -> FullReport:
     """The report body, executed under the report's compile cache."""
     report = FullReport(scale=scale)
@@ -148,7 +232,7 @@ def _run_experiments(
     tick("Table 1")
     t1 = run_table1(
         dataset, repeats=scale.repeats, include_gpt4=scale.include_gpt4, jobs=jobs,
-        on_error=on_error,
+        on_error=on_error, ctx=ctx,
     )
     report.failures["table1"] = t1.failed_units
     report.table1 = {
@@ -160,7 +244,7 @@ def _run_experiments(
     tick("Table 2 / Figure 4")
     t2 = run_table2(
         verilogeval(), n_samples=scale.n_samples, sim_samples=scale.sim_samples,
-        jobs=jobs, on_error=on_error,
+        jobs=jobs, on_error=on_error, ctx=ctx,
     )
     report.failures["table2"] = len(t2.failures)
     report.table2 = {
@@ -193,7 +277,7 @@ def _run_experiments(
     tick("Table 3")
     t3 = run_table3(
         rtllm(), n_samples=scale.n_samples, sim_samples=scale.sim_samples, jobs=jobs,
-        on_error=on_error,
+        on_error=on_error, ctx=ctx,
     )
     report.failures["table3"] = len(t3.failures)
     report.table3 = {
@@ -205,7 +289,8 @@ def _run_experiments(
 
     tick("Figure 7")
     f7 = run_figure7(
-        dataset, repeats=max(1, scale.repeats // 2), jobs=jobs, on_error=on_error
+        dataset, repeats=max(1, scale.repeats // 2), jobs=jobs, on_error=on_error,
+        ctx=ctx,
     )
     report.failures["figure7"] = len(f7.failures)
     report.figure7 = dict(f7.histogram)
@@ -225,6 +310,7 @@ def _run_experiments(
         sim_samples=scale.sim_samples,
         jobs=jobs,
         on_error=on_error,
+        ctx=ctx,
     )
     report.failures["simfix"] = len(simfix.failures)
     report.simfix = {

@@ -25,7 +25,15 @@ from ..core.rulefix import rule_fix
 from ..dataset.curate import SyntaxDataset
 from ..dataset.problem import Problem
 from ..llm.base import RepairModel
-from ..runtime import ParallelRunner, WorkFailure, cached_compile, isolable
+from ..runtime import (
+    ParallelRunner,
+    RunContext,
+    WorkFailure,
+    cached_compile,
+    config_digest,
+    content_digest,
+    unit_key,
+)
 from ..sim import run_differential
 from .metrics import fix_rate
 
@@ -84,6 +92,28 @@ def _run_fix_trial(unit: _FixTrial) -> tuple[bool, int]:
     return outcome.success, outcome.iterations
 
 
+def _fix_trial_keys(
+    fixer: RTLFixer, entries: list, repeats: int, stage: str
+) -> list[str]:
+    """Content-addressed trial ids for one fix experiment.
+
+    Each key is a digest over the stage name, the fixer-config digest
+    (result-relevant fields only), the entry's problem id and code
+    content address, and the trial's derived seed -- so a resumed run
+    with the same configuration addresses the same journal records.
+    """
+    digest = config_digest(fixer.config)
+    return [
+        unit_key(
+            stage, config=digest, problem=entry.problem_id,
+            code=content_digest(entry.code), trial=trial,
+            seed=fixer.config.seed + trial,
+        )
+        for entry in entries
+        for trial in range(repeats)
+    ]
+
+
 def run_fix_experiment(
     dataset: SyntaxDataset,
     fixer: RTLFixer,
@@ -92,6 +122,8 @@ def run_fix_experiment(
     jobs: Optional[int] = None,
     runner: Optional[ParallelRunner] = None,
     on_error: Optional[str] = None,
+    ctx: Optional[RunContext] = None,
+    stage: str = "fix",
 ) -> FixExperimentResult:
     """Run ``fixer`` over every dataset entry ``repeats`` times.
 
@@ -109,54 +141,73 @@ def run_fix_experiment(
     handling: ``"raise"`` aborts on the first failed trial, ``"collect"``
     records failed trials as :class:`~repro.runtime.WorkFailure` entries
     in ``result.failures`` (counted as not-fixed) and keeps going.
+
+    ``ctx`` (a :class:`~repro.runtime.RunContext`) adds durability: each
+    trial is keyed content-addressed (``stage`` x config digest x
+    problem x seed), journaled as it completes, and replayed instead of
+    re-executed on resume -- the final result is bit-identical to an
+    uninterrupted run.  With no ``ctx``, ``fixer.config.run_dir`` /
+    ``breaker_threshold`` stand up a local one (durable standalone
+    runs); under resume, ``progress`` totals cover only the trials that
+    still execute.
     """
     if on_error is None:
         on_error = fixer.config.on_error
+    local_state = None
+    if ctx is None:
+        breaker = None
+        if fixer.config.breaker_threshold > 0:
+            from ..runtime import CircuitBreaker
+
+            breaker = CircuitBreaker(fixer.config.breaker_threshold)
+        if fixer.config.run_dir is not None:
+            from ..runtime import RunState
+
+            local_state = RunState(fixer.config.run_dir)
+        ctx = RunContext(state=local_state, breaker=breaker)
     result = FixExperimentResult(label=fixer.config.label(), trials=repeats)
     entries = list(dataset)
     if runner is None:
         runner = ParallelRunner(jobs=fixer.config.jobs if jobs is None else jobs)
 
-    if runner.is_serial:
-        done = 0
-        total = len(entries) * repeats
-        for index, entry in enumerate(entries):
-            fixed = 0
-            for trial in range(repeats):
-                try:
-                    outcome = fixer.with_seed(fixer.config.seed + trial).fix(
-                        entry.code, description=entry.description
-                    )
-                except BaseException as exc:
-                    # Ctrl-C / SystemExit must abort the run, never be
-                    # filed away as a not-fixed trial (see isolable()).
-                    if on_error != "collect" or not isolable(exc):
-                        raise
-                    result.failures.append(
-                        WorkFailure.from_exception(index * repeats + trial, entry, exc)
-                    )
-                    outcome = None
-                if outcome is not None and outcome.success:
-                    fixed += 1
-                    result.iterations.append(outcome.iterations)
-                done += 1
-                if progress is not None:
-                    progress(done, total)
-            result.fixed_counts.append(fixed)
-        return result
-
+    # getattr: duck-typed fixer stands-ins (tests) may lack the property,
+    # and the serial path below never needs it.
+    injected = getattr(fixer, "injected_model", None)
     units = [
         _FixTrial(
             config=fixer.config, code=entry.code, description=entry.description,
-            entry=index, trial=trial, model=fixer.injected_model,
+            entry=index, trial=trial, model=injected,
         )
         for index, entry in enumerate(entries)
         for trial in range(repeats)
     ]
+    keys = None
+    if ctx.state is not None:
+        keys = _fix_trial_keys(fixer, entries, repeats, stage)
+
+    if runner.is_serial:
+        # The in-process path runs through the *same* fixer object (a
+        # caller-injected model or database is honoured directly).
+        def run_unit(unit: _FixTrial) -> tuple[bool, int]:
+            outcome = fixer.with_seed(fixer.config.seed + unit.trial).fix(
+                unit.code, description=unit.description
+            )
+            return outcome.success, outcome.iterations
+
+        fn = run_unit
+    else:
+        fn = _run_fix_trial
     tick = None
     if progress is not None:
         tick = lambda done, total, unit: progress(done, total)  # noqa: E731
-    outcomes = runner.map(_run_fix_trial, units, progress=tick, on_error=on_error)
+    try:
+        outcomes = ctx.map(
+            runner, fn, units, keys=keys, stage=stage, on_error=on_error,
+            progress=tick,
+        )
+    finally:
+        if local_state is not None:
+            local_state.close()
 
     counts = [0] * len(entries)
     for unit, outcome in zip(units, outcomes):

@@ -19,8 +19,35 @@ The pillars every experiment driver in :mod:`repro.eval` is built on:
   seed;
 * :func:`run_fuzz` -- the seeded corpus fuzzer that continuously
   prosecutes the compiler front-end's never-crash/never-hang contract
-  (``rtlfixer fuzz``).
+  (``rtlfixer fuzz``);
+* :class:`Journal` / :class:`RunState` / :class:`RunContext` -- the
+  durable-run subsystem: a crash-safe CRC32 JSONL trial journal with
+  torn-tail recovery, content-addressed trial checkpoints
+  (:func:`unit_key` / :func:`config_digest`), and the resume-aware
+  durable map every experiment driver routes through;
+* :class:`CircuitBreaker` -- trips after N consecutive non-transient
+  failures and fails the rest of a run fast as journaled SKIPPED
+  trials (retry handles transients, the breaker handles persistent
+  outages);
+* :class:`GracefulShutdown` -- two-stage SIGINT/SIGTERM handling:
+  first signal drains and checkpoints, second hard-exits;
+* :func:`atomic_write_text` / :func:`atomic_write_json` -- torn-write-
+  proof persistence for every run-directory artifact.
 """
+
+from .breaker import CircuitBreaker
+from .checkpoint import (
+    RunContext,
+    RunState,
+    config_digest,
+    content_digest,
+    decode_payload,
+    encode_payload,
+    unit_key,
+)
+from .journal import Journal, JournalRecovery
+from .persist import atomic_write_json, atomic_write_text
+from .shutdown import GracefulShutdown
 
 from .cache import (
     DEFAULT_CACHE,
@@ -68,6 +95,19 @@ from .retry import (
 __all__ = [
     "CacheStats",
     "ChaosCompiler",
+    "CircuitBreaker",
+    "GracefulShutdown",
+    "Journal",
+    "JournalRecovery",
+    "RunContext",
+    "RunState",
+    "atomic_write_json",
+    "atomic_write_text",
+    "config_digest",
+    "content_digest",
+    "decode_payload",
+    "encode_payload",
+    "unit_key",
     "ChaosLLMClient",
     "ChaosRepairModel",
     "CompileCache",

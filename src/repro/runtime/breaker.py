@@ -1,0 +1,152 @@
+"""Circuit breaker for persistent LLM / compiler outages.
+
+The retry layer (:mod:`repro.runtime.retry`) absorbs *transient* faults:
+a timeout or rate-limit clears after a bounded backoff.  A *persistent*
+outage -- an API key revoked mid-run, a backend hard-down, a compiler
+service returning garbage for every request -- looks different: every
+trial burns its full retry budget and still fails.  On a
+hundreds-of-trials report run that turns a 5-minute outage into hours of
+futile backoff.
+
+:class:`CircuitBreaker` is the complementary mechanism, one state
+machine per run:
+
+* **closed** (normal): trials flow; consecutive *counted* failures are
+  tallied, any success resets the tally;
+* **open** (tripped, after ``failure_threshold`` consecutive counted
+  failures): :meth:`allow` denies trials, which the executor records as
+  journaled SKIPPED :class:`~repro.runtime.WorkFailure` slots -- the run
+  finishes fast instead of grinding through the outage;
+* **half-open** (probing): after ``probe_interval`` denials one probe
+  trial is let through; success closes the breaker (the outage cleared,
+  the run recovers), failure re-opens it.
+
+Composition with retries: by the time a failure reaches the executor it
+is either a :class:`~repro.errors.RetryExhaustedError` (the retry layer
+gave up -- counted) or a non-transient bug (counted).  A *bare*
+:class:`~repro.errors.TransientError` is not counted -- with retries
+disabled a lone hiccup must not march the breaker toward a trip; enable
+the retry layer so persistent transients surface as exhaustion.
+
+Skipped trials are journaled with a ``skipped`` marker, never replayed:
+a resumed run re-executes them, because the outage that caused the skip
+is expected to have cleared.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import TransientError
+
+#: The three breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Trip after N consecutive counted failures; fail the rest fast.
+
+    >>> breaker = CircuitBreaker(failure_threshold=3)
+    >>> breaker.allow()            # closed: dispatch the trial
+    >>> breaker.record_failure(exc)  # tally (or ignore a bare transient)
+    >>> breaker.state
+    """
+
+    def __init__(
+        self, failure_threshold: int = 5, probe_interval: Optional[int] = 25
+    ):
+        """``failure_threshold`` consecutive counted failures trip the
+        breaker; while open, every ``probe_interval``-th denied trial is
+        let through as a half-open probe (``None`` disables probing --
+        once open, open for the rest of the run)."""
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if probe_interval is not None and probe_interval < 1:
+            raise ValueError(
+                f"probe_interval must be >= 1 (or None), got {probe_interval}"
+            )
+        self.failure_threshold = failure_threshold
+        self.probe_interval = probe_interval
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        #: How many times the breaker tripped (closed/half-open -> open).
+        self.trips = 0
+        #: Trials denied (skipped) while open.
+        self.skipped = 0
+        self._denied_since_open = 0
+
+    @staticmethod
+    def counts(exc: BaseException) -> bool:
+        """Whether a failure participates in the consecutive tally.
+
+        Everything counts except a *bare* transient fault
+        (:class:`~repro.errors.TransientError` and subclasses):
+        transients are the retry layer's job, and exhausted retries
+        surface as :class:`~repro.errors.RetryExhaustedError`, which is
+        not transient and does count.
+        """
+        return not isinstance(exc, TransientError)
+
+    def allow(self) -> bool:
+        """Whether the next trial may dispatch (False = skip it).
+
+        While open, denials are tallied; every ``probe_interval``-th
+        denial converts into a half-open probe instead.  While a probe
+        is in flight (half-open) all other trials are denied.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN and self.probe_interval is not None:
+            self._denied_since_open += 1
+            if self._denied_since_open >= self.probe_interval:
+                self.state = HALF_OPEN
+                return True
+        self.skipped += 1
+        return False
+
+    def record_success(self) -> None:
+        """A trial succeeded: reset the tally, close the breaker."""
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._denied_since_open = 0
+
+    def record_failure(self, exc: Optional[BaseException] = None) -> None:
+        """A trial failed; tally it unless it is an uncounted transient.
+
+        A half-open probe failure re-opens immediately; in the closed
+        state the ``failure_threshold``-th consecutive counted failure
+        trips the breaker.
+        """
+        if exc is not None and not self.counts(exc):
+            return
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self._trip()
+        elif (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        """Transition to open and start a fresh denial tally."""
+        self.state = OPEN
+        self.trips += 1
+        self._denied_since_open = 0
+
+    @property
+    def tripped(self) -> bool:
+        """Whether the breaker ever tripped during this run."""
+        return self.trips > 0
+
+    def snapshot(self) -> dict:
+        """JSON-friendly telemetry (surfaced by ``run_full_report``)."""
+        return {
+            "state": self.state,
+            "trips": self.trips,
+            "skipped": self.skipped,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+        }

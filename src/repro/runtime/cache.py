@@ -96,6 +96,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Concurrent lookups that waited for an in-flight compile of the
+    #: same key instead of duplicating it (single-flight coalescing).
+    coalesced: int = 0
     #: Per-content-address miss counts; a key with more than one miss
     #: was recompiled after an eviction (or raced in a thread pool).
     misses_by_key: Counter = field(default_factory=Counter)
@@ -121,6 +124,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "coalesced_waits": self.coalesced,
             "compiles_avoided": self.compiles_avoided,
             "hit_rate": round(self.hit_rate, 4),
         }
@@ -142,6 +146,9 @@ class CompileCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, CompileResult]" = OrderedDict()
         self._lock = threading.Lock()
+        #: key -> event set when that key's in-flight compile finishes
+        #: (single-flight coalescing of concurrent misses).
+        self._inflight: dict[str, threading.Event] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -159,29 +166,48 @@ class CompileCache:
             code, name=name, flavor=flavor, include_files=include_files,
             limits=limits,
         )
-        with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                return cached
-            self.stats.misses += 1
-            self.stats.misses_by_key[key] += 1
-        # Compile outside the lock: concurrent misses on the same key may
-        # compile twice, but results are identical and the last one wins.
+        # Compilation happens outside the lock, but concurrent misses on
+        # the same key are *coalesced*: the first thread becomes the
+        # compiling leader (it registers an in-flight event), every
+        # other thread waits on that event and then re-reads the entry
+        # -- one full front-end run per key, not one per thread.
+        while True:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return cached
+                leader = key not in self._inflight
+                if leader:
+                    self._inflight[key] = threading.Event()
+                    self.stats.misses += 1
+                    self.stats.misses_by_key[key] += 1
+                    break
+                event = self._inflight[key]
+                self.stats.coalesced += 1
+            event.wait()
+
         from ..diagnostics.compiler import compile_source
 
-        result = compile_source(
-            code, name=name, flavor=flavor, include_files=include_files,
-            limits=limits,
-        )
-        with self._lock:
-            self._entries[key] = result
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
-        return result
+        try:
+            result = compile_source(
+                code, name=name, flavor=flavor, include_files=include_files,
+                limits=limits,
+            )
+            with self._lock:
+                self._entries[key] = result
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+            return result
+        finally:
+            # Always release the waiters -- even if compile_source raised
+            # (it should not, post never-crash boundary): a waiter that
+            # finds no entry simply becomes the next leader.
+            with self._lock:
+                self._inflight.pop(key).set()
 
     def contains(
         self,

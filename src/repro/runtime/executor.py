@@ -39,9 +39,20 @@ from __future__ import annotations
 
 import os
 import traceback as _traceback
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Literal, Optional, TypeVar, Union
+from typing import TYPE_CHECKING, Callable, Iterable, Literal, Optional, TypeVar, Union
+
+from ..errors import RunInterrupted
+
+if TYPE_CHECKING:  # typing only
+    from .breaker import CircuitBreaker
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -54,6 +65,18 @@ OnError = Literal["raise", "collect"]
 #: runs; completion order is nondeterministic under parallel backends,
 #: result order is not).
 ProgressFn = Callable[[int, int, object], None]
+
+#: ``on_result(index, item, result)`` -- invoked in the *parent* process
+#: the moment a work unit's result (or collected :class:`WorkFailure`)
+#: is known, with its submission index.  The durable-run journal hangs
+#: off this hook: a journaled trial is exactly one whose ``on_result``
+#: returned.
+ResultFn = Callable[[int, object, object], None]
+
+#: ``should_stop()`` -- polled between dispatches; returning True stops
+#: new submissions, drains in-flight units (their results still reach
+#: ``on_result``), then raises :class:`~repro.errors.RunInterrupted`.
+StopFn = Callable[[], bool]
 
 _REPR_LIMIT = 200
 
@@ -77,6 +100,11 @@ class WorkFailure:
     item_repr: str = field(default="", compare=False)
     #: Formatted traceback when available (diagnostics only).
     traceback: str = field(default="", compare=False)
+    #: True when the unit never ran: the circuit breaker was open and
+    #: the trial was failed fast (journaled as SKIPPED, re-executed on
+    #: resume).  Participates in equality -- a skip is a different
+    #: outcome than a real failure.
+    skipped: bool = False
 
     @classmethod
     def from_exception(cls, index: int, item: object, exc: BaseException) -> "WorkFailure":
@@ -94,9 +122,24 @@ class WorkFailure:
             ),
         )
 
+    @classmethod
+    def skipped_unit(cls, index: int, item: object) -> "WorkFailure":
+        """A SKIPPED slot for a unit the open circuit breaker denied."""
+        item_repr = repr(item)
+        if len(item_repr) > _REPR_LIMIT:
+            item_repr = item_repr[: _REPR_LIMIT - 3] + "..."
+        return cls(
+            index=index,
+            error_type="CircuitOpenError",
+            message="circuit breaker open: trial skipped (fail-fast)",
+            item_repr=item_repr,
+            skipped=True,
+        )
+
     def describe(self) -> str:
         """One-line human-readable summary."""
-        return f"unit {self.index}: {self.error_type}: {self.message}"
+        verb = "skipped" if self.skipped else "failed"
+        return f"unit {self.index} {verb}: {self.error_type}: {self.message}"
 
 
 def isolable(exc: BaseException) -> bool:
@@ -175,66 +218,185 @@ class ParallelRunner:
         items: Iterable[T],
         progress: Optional[ProgressFn] = None,
         on_error: OnError = "raise",
+        on_result: Optional[ResultFn] = None,
+        should_stop: Optional[StopFn] = None,
+        breaker: Optional["CircuitBreaker"] = None,
     ) -> list[Union[R, WorkFailure]]:
         """Apply ``fn`` to every item; results keep submission order.
 
         Work units are scheduled eagerly and collected as they complete
         (so ``progress`` reports real liveness), but the returned list
         is indexed by submission order -- identical to the serial path
-        regardless of completion interleaving.
+        regardless of completion interleaving.  Parallel backends keep a
+        bounded dispatch window (``2 x jobs``) in flight rather than
+        enqueueing everything up front, so stopping really stops.
 
         ``on_error="raise"`` propagates the first worker exception after
         cancelling all still-pending units (a failed run aborts promptly
         instead of draining the queue).  ``on_error="collect"`` isolates
         failures: the failing unit's slot holds a :class:`WorkFailure`
         and every other unit still runs.
+
+        ``on_result`` fires in the parent as each unit's outcome is
+        known (the durable journal's commit point).  ``should_stop`` is
+        polled before every dispatch: once true, no further unit starts,
+        in-flight units drain (reaching ``on_result``), then
+        :class:`~repro.errors.RunInterrupted` is raised.  ``breaker``
+        gates dispatch: a unit denied by an open breaker never runs --
+        its slot gets a SKIPPED :class:`WorkFailure` -- and every real
+        outcome is reported back via ``record_success`` /
+        ``record_failure``.  The breaker requires ``on_error="collect"``
+        (fail-fast slots are collected records, not exceptions).
         """
         if on_error not in ("raise", "collect"):
             raise ValueError(f"on_error must be raise|collect, got {on_error!r}")
+        if breaker is not None and on_error != "collect":
+            raise ValueError(
+                'a circuit breaker requires on_error="collect" (skipped '
+                "trials are recorded as WorkFailure slots, not raised)"
+            )
         items = list(items)
         total = len(items)
-        if self.is_serial or total <= 1:
-            results: list[Union[R, WorkFailure]] = []
-            for index, item in enumerate(items):
-                try:
-                    results.append(fn(item))
-                except BaseException as exc:
-                    if on_error == "raise" or not isolable(exc):
-                        raise
-                    results.append(WorkFailure.from_exception(index, item, exc))
-                if progress is not None:
-                    progress(index + 1, total, item)
-            return results
 
+        def finish(index: int, done: int, result: Union[R, WorkFailure]) -> None:
+            """Publish one completed/skipped unit to the hooks."""
+            if on_result is not None:
+                on_result(index, items[index], result)
+            if progress is not None:
+                progress(done, total, items[index])
+
+        if self.is_serial or total <= 1:
+            return self._map_serial(
+                fn, items, on_error, finish, should_stop, breaker
+            )
+        return self._map_pool(fn, items, on_error, finish, should_stop, breaker)
+
+    def _map_serial(
+        self,
+        fn: Callable[[T], R],
+        items: list[T],
+        on_error: OnError,
+        finish: Callable[[int, int, Union[R, WorkFailure]], None],
+        should_stop: Optional[StopFn],
+        breaker: Optional["CircuitBreaker"],
+    ) -> list[Union[R, WorkFailure]]:
+        """In-process map with dispatch gating (the reference semantics)."""
+        results: list[Union[R, WorkFailure]] = []
+        for index, item in enumerate(items):
+            if should_stop is not None and should_stop():
+                raise RunInterrupted(
+                    f"shutdown requested after {index}/{len(items)} unit(s)",
+                    done=index, total=len(items),
+                )
+            if breaker is not None and not breaker.allow():
+                skipped = WorkFailure.skipped_unit(index, item)
+                results.append(skipped)
+                finish(index, index + 1, skipped)
+                continue
+            try:
+                result: Union[R, WorkFailure] = fn(item)
+            except BaseException as exc:
+                if breaker is not None:
+                    breaker.record_failure(exc)
+                if on_error == "raise" or not isolable(exc):
+                    raise
+                result = WorkFailure.from_exception(index, item, exc)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+            results.append(result)
+            finish(index, index + 1, result)
+        return results
+
+    def _map_pool(
+        self,
+        fn: Callable[[T], R],
+        items: list[T],
+        on_error: OnError,
+        finish: Callable[[int, int, Union[R, WorkFailure]], None],
+        should_stop: Optional[StopFn],
+        breaker: Optional["CircuitBreaker"],
+    ) -> list[Union[R, WorkFailure]]:
+        """Pool-backed map: bounded dispatch window, drain-on-stop."""
+        total = len(items)
         executor_cls = (
             ProcessPoolExecutor if self.backend == "process" else ThreadPoolExecutor
         )
         slots: list[Union[R, WorkFailure, None]] = [None] * total
         workers = min(self.jobs, total)
+        window = workers * 2
+        pending: dict[Future, int] = {}
+        next_index = 0
+        done = 0
+        stopping = False
+
         with executor_cls(max_workers=workers) as pool:
-            futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
-            done = 0
+
+            def submit_more() -> None:
+                """Keep the dispatch window full, honouring the gates."""
+                nonlocal next_index, done, stopping
+                while next_index < total and len(pending) < window:
+                    if stopping or (should_stop is not None and should_stop()):
+                        stopping = True
+                        return
+                    if breaker is not None and breaker.state == "half_open":
+                        # A probe is in flight: hold further dispatch (and
+                        # further skipping) until its outcome settles the
+                        # breaker one way or the other.
+                        return
+                    index = next_index
+                    next_index += 1
+                    if breaker is not None and not breaker.allow():
+                        skipped = WorkFailure.skipped_unit(index, items[index])
+                        slots[index] = skipped
+                        done += 1
+                        finish(index, done, skipped)
+                        continue
+                    pending[pool.submit(fn, items[index])] = index
+
+            submit_more()
             try:
-                for future in as_completed(futures):
-                    index = futures[future]
-                    try:
-                        slots[index] = future.result()
-                    except BaseException as exc:
-                        if on_error == "raise" or not isolable(exc):
-                            raise
-                        slots[index] = WorkFailure.from_exception(
-                            index, items[index], exc
-                        )
-                    done += 1
-                    if progress is not None:
-                        progress(done, total, items[index])
+                while pending:
+                    completed, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in completed:
+                        index = pending.pop(future)
+                        if future.cancelled():
+                            continue  # un-run unit dropped during a stop
+                        try:
+                            result: Union[R, WorkFailure] = future.result()
+                        except BaseException as exc:
+                            if breaker is not None:
+                                breaker.record_failure(exc)
+                            if on_error == "raise" or not isolable(exc):
+                                raise
+                            result = WorkFailure.from_exception(
+                                index, items[index], exc
+                            )
+                        else:
+                            if breaker is not None:
+                                breaker.record_success()
+                        slots[index] = result
+                        done += 1
+                        finish(index, done, result)
+                    submit_more()
+                    if stopping:
+                        # Drop what never started; in-flight units drain
+                        # through the loop above and reach on_result.
+                        for future in list(pending):
+                            if future.cancel():
+                                pending.pop(future)
             except BaseException:
                 # Abort promptly: drop every not-yet-started unit so the
                 # pool shutdown only waits on the (few) in-flight ones,
                 # then let the failure propagate (cancel_futures
-                # semantics -- see satellite bugfix).
-                for pending in futures:
-                    pending.cancel()
+                # semantics -- see the PR 2 executor bugfix).
+                for future in pending:
+                    future.cancel()
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
+        if stopping:
+            raise RunInterrupted(
+                f"shutdown requested after {done}/{total} unit(s)",
+                done=done, total=total,
+            )
         return slots  # type: ignore[return-value]

@@ -1,0 +1,164 @@
+"""Append-only, crash-safe JSONL trial journal.
+
+The durable-run subsystem records every completed trial as one line of
+a journal file the moment its result reaches the parent process, so a
+SIGKILL / OOM / power loss at trial 199/212 loses at most the trials
+that were still in flight.  The file format is designed so that *any*
+byte-level truncation or corruption is detected and recovered from:
+
+* one record per line: ``<crc32 as 8 hex chars><space><canonical JSON>``;
+* the CRC32 covers exactly the JSON body bytes, so a record is valid
+  iff it parses *and* its checksum matches;
+* appends are flushed and ``fsync``'d before :meth:`Journal.append`
+  returns (a journaled trial is a durable trial);
+* on open, the file is scanned from the top: the longest valid prefix
+  is kept, and everything from the first invalid record on is truncated
+  away (a *torn tail* -- the partially-written last line of a killed
+  process -- is the common case; a mid-file corruption also stops the
+  scan, because records after a corrupt region cannot be trusted).
+
+Records are plain JSON objects; the journal imposes no schema beyond
+"one object per line" -- :mod:`repro.runtime.checkpoint` layers trial
+keys and payload encoding on top.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+#: ``<8 hex chars><space>`` -- the fixed-width checksum prefix.
+_CRC_WIDTH = 8
+
+
+def encode_record(record: dict) -> bytes:
+    """Serialize one record to its on-disk line (checksum + JSON + LF).
+
+    The JSON body is canonical (sorted keys, no whitespace) so the
+    checksum is a function of the record's *content*, not of dict
+    ordering.
+    """
+    body = json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return f"{crc:08x} ".encode() + body + b"\n"
+
+
+def decode_line(line: bytes) -> Optional[dict]:
+    """Parse and verify one journal line; ``None`` if torn or corrupt."""
+    if len(line) < _CRC_WIDTH + 2 or line[_CRC_WIDTH : _CRC_WIDTH + 1] != b" ":
+        return None
+    try:
+        expected = int(line[:_CRC_WIDTH], 16)
+    except ValueError:
+        return None
+    body = line[_CRC_WIDTH + 1 :]
+    if zlib.crc32(body) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        record = json.loads(body)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+@dataclass(frozen=True)
+class JournalRecovery:
+    """What :class:`Journal` found (and fixed) when opening a file.
+
+    ``truncated_bytes`` is nonzero when a torn tail or corrupt record
+    was cut away; ``reason`` says which ("torn-tail" for an invalid
+    final line, "corrupt-record" for an invalid line with valid lines
+    after it -- the scan still stops there, because everything past a
+    corrupt region is untrustworthy).
+    """
+
+    records: int
+    truncated_bytes: int = 0
+    reason: str = ""
+
+
+class Journal:
+    """Append-only JSONL journal with per-record CRC32 and fsync'd appends.
+
+    >>> journal = Journal(path)        # recovers/truncates a torn tail
+    >>> journal.replayed               # the valid records already on disk
+    >>> journal.append({"key": "..."}) # durable once this returns
+    """
+
+    def __init__(self, path: str, fsync: bool = True):
+        """Open (creating or recovering) the journal at ``path``.
+
+        ``fsync=False`` trades crash-durability of individual appends
+        for speed -- appropriate for tests and throwaway runs only.
+        """
+        self.path = path
+        self.fsync = fsync
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        self.replayed, self.recovery = self._recover()
+        self._handle = open(path, "ab")
+        self._appended = 0
+
+    def _recover(self) -> tuple[list[dict], JournalRecovery]:
+        """Scan the file; keep the valid prefix, truncate the rest."""
+        if not os.path.exists(self.path):
+            return [], JournalRecovery(records=0)
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        records: list[dict] = []
+        offset = 0
+        invalid_at: Optional[int] = None
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                invalid_at = offset  # unterminated final line: torn tail
+                break
+            record = decode_line(data[offset:newline])
+            if record is None:
+                invalid_at = offset
+                break
+            records.append(record)
+            offset = newline + 1
+        if invalid_at is None:
+            return records, JournalRecovery(records=len(records))
+        truncated = len(data) - invalid_at
+        tail = data[invalid_at:]
+        reason = "torn-tail" if tail.count(b"\n") <= 1 else "corrupt-record"
+        with open(self.path, "r+b") as handle:
+            handle.truncate(invalid_at)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return records, JournalRecovery(
+            records=len(records), truncated_bytes=truncated, reason=reason
+        )
+
+    def __len__(self) -> int:
+        """Total durable records: replayed at open + appended since."""
+        return len(self.replayed) + self._appended
+
+    def __iter__(self) -> Iterator[dict]:
+        """Iterate the records that were on disk when the journal opened."""
+        return iter(self.replayed)
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flushed and fsync'd before return)."""
+        self._handle.write(encode_record(record))
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._appended += 1
+
+    def close(self) -> None:
+        """Close the append handle (the journal stays valid on disk)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        """Context-manager support: ``with Journal(path) as journal:``."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close on scope exit."""
+        self.close()

@@ -1,0 +1,84 @@
+"""Atomic file persistence for run-directory artifacts.
+
+Every artifact a durable run writes -- the final report JSON, the
+checkpoint manifest, recovered journal segments -- must never be
+observable in a torn state: a SIGKILL between ``open(..., "w")`` and the
+final ``write`` must leave either the old file or the new one, never a
+prefix.  The classic recipe is write-to-temp-then-:func:`os.replace`
+(rename is atomic on POSIX within one filesystem), with ``fsync`` on the
+temp file before the rename and on the directory after it so the rename
+itself survives a power loss.
+
+:func:`atomic_write_text` / :func:`atomic_write_json` are the shared
+helpers the rest of the runtime (and the CLI's ``--json`` report write)
+build on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+
+def fsync_directory(path: str) -> None:
+    """Flush a directory entry to disk (best-effort).
+
+    After an :func:`os.replace` the *data* is durable but the rename
+    lives in the directory; syncing the directory fd makes the rename
+    itself crash-safe.  Platforms that cannot open directories simply
+    skip this (the write is still atomic, just not power-loss-durable).
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: str, text: str, encoding: str = "utf-8", fsync: bool = True
+) -> None:
+    """Write ``text`` to ``path`` atomically (write-temp-then-replace).
+
+    The temp file lives in the destination directory (``os.replace``
+    must not cross filesystems) and is removed on any failure, so an
+    interrupted write leaves no debris and never a torn ``path``.
+    ``fsync=False`` skips the durability syncs (tests, throwaway dirs).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=f".{os.path.basename(path)}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_directory(directory)
+
+
+def atomic_write_json(
+    path: str, payload: Any, indent: int = 2, fsync: bool = True
+) -> None:
+    """Serialize ``payload`` as JSON and write it atomically."""
+    atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=True) + "\n",
+        fsync=fsync,
+    )

@@ -1,0 +1,96 @@
+"""Graceful shutdown: first signal drains, second signal aborts.
+
+An operator's Ctrl-C (or an orchestrator's SIGTERM) during a
+hundreds-of-trials report run should not throw completed work away.
+:class:`GracefulShutdown` installs SIGINT/SIGTERM handlers with the
+classic two-stage contract:
+
+* **first signal** -- set a flag (polled by
+  :meth:`repro.runtime.ParallelRunner.map` via ``should_stop``): stop
+  dispatching new trials, let in-flight workers drain and journal their
+  results, then unwind with :class:`~repro.errors.RunInterrupted` so the
+  CLI exits ``128 + signum`` with a resumable checkpoint and a clear
+  message;
+* **second signal** -- the operator means it: hard-exit immediately
+  (``os._exit``), skipping pool teardown that might itself hang.  The
+  journal is safe by construction -- every completed trial was fsync'd
+  when it was recorded.
+
+The handler is a context manager and restores the previous handlers on
+exit, so library callers can scope it tightly around a run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+from types import FrameType
+from typing import Callable, Iterable, Optional
+
+#: Signals a durable run treats as shutdown requests.
+DEFAULT_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+def _default_notify(message: str) -> None:
+    """Print a shutdown notice to stderr (never stdout: report output
+    may be piped)."""
+    print(message, file=sys.stderr, flush=True)
+
+
+class GracefulShutdown:
+    """Two-stage SIGINT/SIGTERM handler for durable runs.
+
+    >>> with GracefulShutdown() as shutdown:
+    ...     run_full_report(..., should_stop=shutdown.requested)
+    """
+
+    def __init__(
+        self,
+        signals: Iterable[int] = DEFAULT_SIGNALS,
+        notify: Callable[[str], None] = _default_notify,
+        hard_exit: Callable[[int], None] = os._exit,
+    ):
+        """``notify`` and ``hard_exit`` are injectable for tests (the
+        default hard exit is ``os._exit(128 + signum)``)."""
+        self.signals = tuple(signals)
+        self._notify = notify
+        self._hard_exit = hard_exit
+        self._previous: dict[int, object] = {}
+        self._requested = False
+        #: The first signal received (None until then).
+        self.signum: Optional[int] = None
+
+    def requested(self) -> bool:
+        """Whether a shutdown has been requested (``should_stop`` hook)."""
+        return self._requested
+
+    def handler(self, signum: int, frame: Optional[FrameType] = None) -> None:
+        """The installed signal handler (public so tests can drive it)."""
+        if self._requested:
+            self._notify(
+                f"second signal ({signal.Signals(signum).name}): hard exit "
+                "(completed trials are already journaled)"
+            )
+            self._hard_exit(128 + signum)
+            return  # only reached with an injected hard_exit
+        self._requested = True
+        self.signum = signum
+        self._notify(
+            f"{signal.Signals(signum).name} received: finishing in-flight "
+            "trials, flushing the journal, then exiting with a resumable "
+            "checkpoint (signal again to abort hard)"
+        )
+
+    def __enter__(self) -> "GracefulShutdown":
+        """Install the handlers, remembering the previous ones."""
+        for signum in self.signals:
+            self._previous[signum] = signal.getsignal(signum)
+            signal.signal(signum, self.handler)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Restore the previous handlers."""
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)  # type: ignore[arg-type]
+        self._previous.clear()
