@@ -148,8 +148,11 @@ def run_fix_experiment(
     re-executed on resume -- the final result is bit-identical to an
     uninterrupted run.  With no ``ctx``, ``fixer.config.run_dir`` /
     ``breaker_threshold`` stand up a local one (durable standalone
-    runs); under resume, ``progress`` totals cover only the trials that
-    still execute.
+    runs): the run directory is pinned by a manifest (stage + config
+    digest), so re-running with the same config resumes implicitly and
+    a changed config raises :class:`~repro.errors.CheckpointError`
+    instead of mixing journals.  Under resume, ``progress`` totals
+    cover only the trials that still execute.
     """
     if on_error is None:
         on_error = fixer.config.on_error
@@ -164,6 +167,24 @@ def run_fix_experiment(
             from ..runtime import RunState
 
             local_state = RunState(fixer.config.run_dir)
+            try:
+                # Pin the run's identity just like the CLI path does:
+                # reusing the directory with a changed result-relevant
+                # config fails fast instead of silently appending
+                # mismatched trials to the same journal.  A matching
+                # config resumes implicitly (trial keys are content-
+                # addressed, so replay is bit-identical by construction).
+                local_state.ensure_manifest(
+                    {
+                        "kind": "fix_experiment",
+                        "stage": stage,
+                        "config": config_digest(fixer.config),
+                    },
+                    resume=True,
+                )
+            except BaseException:
+                local_state.close()
+                raise
         ctx = RunContext(state=local_state, breaker=breaker)
     result = FixExperimentResult(label=fixer.config.label(), trials=repeats)
     entries = list(dataset)

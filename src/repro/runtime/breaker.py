@@ -19,7 +19,13 @@ machine per run:
   finishes fast instead of grinding through the outage;
 * **half-open** (probing): after ``probe_interval`` denials one probe
   trial is let through; success closes the breaker (the outage cleared,
-  the run recovers), failure re-opens it.
+  the run recovers), failure re-opens it.  *Any* probe failure settles
+  the state -- even an uncounted bare transient re-opens the breaker,
+  because a probe that leaves the breaker half-open forever would
+  starve dispatch.  Parallel executors tell the breaker which recorded
+  outcome is the probe's (``probe=``): outcomes from other units that
+  were already in flight when the probe dispatched only adjust the
+  failure tally, never transition the state.
 
 Composition with retries: by the time a failure reaches the executor it
 is either a :class:`~repro.errors.RetryExhaustedError` (the retry layer
@@ -29,8 +35,8 @@ disabled a lone hiccup must not march the breaker toward a trip; enable
 the retry layer so persistent transients surface as exhaustion.
 
 Skipped trials are journaled with a ``skipped`` marker, never replayed:
-a resumed run re-executes them, because the outage that caused the skip
-is expected to have cleared.
+a resumed run re-executes them (like journaled real failures), because
+the outage that caused the skip is expected to have cleared.
 """
 
 from __future__ import annotations
@@ -76,6 +82,7 @@ class CircuitBreaker:
         #: Trials denied (skipped) while open.
         self.skipped = 0
         self._denied_since_open = 0
+        self._probe_outstanding = False
 
     @staticmethod
     def counts(exc: BaseException) -> bool:
@@ -102,29 +109,64 @@ class CircuitBreaker:
             self._denied_since_open += 1
             if self._denied_since_open >= self.probe_interval:
                 self.state = HALF_OPEN
+                self._probe_outstanding = True
                 return True
         self.skipped += 1
         return False
 
-    def record_success(self) -> None:
-        """A trial succeeded: reset the tally, close the breaker."""
-        self.state = CLOSED
+    @property
+    def probing(self) -> bool:
+        """True while a half-open probe is dispatched but not yet
+        recorded.  Executors sample this right after :meth:`allow`
+        returns True to learn whether the unit they are about to run is
+        the probe, and pass that back via ``probe=`` when recording."""
+        return self.state == HALF_OPEN and self._probe_outstanding
+
+    def record_success(self, probe: Optional[bool] = None) -> None:
+        """A trial succeeded: reset the tally; close the breaker.
+
+        ``probe`` marks whether this outcome belongs to the half-open
+        probe (``None`` infers it from the state -- correct for serial
+        callers, where at most one unit is ever in flight).  While
+        half-open, only the probe's success closes the breaker; a
+        straggler success from a unit dispatched before the trip resets
+        the failure tally but leaves the probe to settle the state.
+        """
+        if probe is None:
+            probe = self.state == HALF_OPEN
         self.consecutive_failures = 0
+        if self.state == HALF_OPEN and not probe:
+            return
+        self.state = CLOSED
+        self._probe_outstanding = False
         self._denied_since_open = 0
 
-    def record_failure(self, exc: Optional[BaseException] = None) -> None:
+    def record_failure(
+        self, exc: Optional[BaseException] = None,
+        probe: Optional[bool] = None,
+    ) -> None:
         """A trial failed; tally it unless it is an uncounted transient.
 
-        A half-open probe failure re-opens immediately; in the closed
-        state the ``failure_threshold``-th consecutive counted failure
-        trips the breaker.
+        While half-open, *only the probe's* failure settles the state,
+        and it always does: any probe failure -- even an uncounted bare
+        transient -- re-opens the breaker (a probe must never leave the
+        breaker stuck half-open, which would starve dispatch forever).
+        Failures from other in-flight units merely adjust the tally.
+        In the closed state the ``failure_threshold``-th consecutive
+        counted failure trips the breaker.
         """
-        if exc is not None and not self.counts(exc):
+        if probe is None:
+            probe = self.state == HALF_OPEN
+        counted = exc is None or self.counts(exc)
+        if self.state == HALF_OPEN and probe:
+            if counted:
+                self.consecutive_failures += 1
+            self._trip()
+            return
+        if not counted:
             return
         self.consecutive_failures += 1
-        if self.state == HALF_OPEN:
-            self._trip()
-        elif (
+        if (
             self.state == CLOSED
             and self.consecutive_failures >= self.failure_threshold
         ):
@@ -135,6 +177,7 @@ class CircuitBreaker:
         self.state = OPEN
         self.trips += 1
         self._denied_since_open = 0
+        self._probe_outstanding = False
 
     @property
     def tripped(self) -> bool:

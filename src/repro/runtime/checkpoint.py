@@ -28,8 +28,12 @@ This layers resumability on top of :mod:`repro.runtime.journal`:
   trials are replayed from the journal; only the remainder dispatches;
   every fresh result is journaled the moment it reaches the parent.
 
-SKIPPED trials (circuit-breaker denials) are journaled for the record
-but never treated as completed: a resumed run re-executes them.
+SKIPPED trials (circuit-breaker denials) and real failures (collected
+:class:`~repro.runtime.WorkFailure` records, e.g. retries exhausted
+against a temporary outage) are journaled for the record but never
+treated as completed: a resumed run re-executes them, because the
+outage behind them is expected to have cleared -- resuming is how a
+run that limped through an outage heals.
 """
 
 from __future__ import annotations
@@ -103,6 +107,24 @@ def unit_key(stage: str, **parts: Any) -> str:
 
 _DC_TAG = "__dataclass__"
 _TUPLE_TAG = "__tuple__"
+
+
+def _replayable(record: dict) -> bool:
+    """Whether a journal record is a completed trial fit for replay.
+
+    Skipped trials (breaker denials) and real failures (collected
+    ``WorkFailure`` records) re-execute on resume instead of replaying.
+    Failures are recognised by the ``failed`` flag; the payload-tag
+    check keeps journals written before the flag existed honest too.
+    """
+    if record.get("skipped") or record.get("failed"):
+        return False
+    result = record.get("result")
+    if isinstance(result, dict):
+        tag = result.get(_DC_TAG)
+        if isinstance(tag, str) and tag.endswith(":WorkFailure"):
+            return False
+    return True
 
 
 def encode_payload(value: Any) -> Any:
@@ -195,10 +217,10 @@ class RunState:
         self.fsync = fsync
         self.journal = Journal(os.path.join(run_dir, JOURNAL_FILE), fsync=fsync)
         #: trial key -> encoded result, from replayed journal records
-        #: (skipped records are excluded: they must re-execute).
+        #: (skipped and failed records are excluded: they re-execute).
         self._completed: dict[str, Any] = {}
         for record in self.journal:
-            if record.get("skipped"):
+            if not _replayable(record):
                 continue
             key = record.get("key")
             if isinstance(key, str):
@@ -252,15 +274,24 @@ class RunState:
 
     def record(self, key: str, result: Any, stage: str = "",
                skipped: bool = False) -> None:
-        """Durably journal one trial result (the commit point)."""
+        """Durably journal one trial result (the commit point).
+
+        Skipped trials and real failures (non-skipped
+        :class:`~repro.runtime.WorkFailure` results) are journaled for
+        the record but kept out of the completed index, so a resumed
+        run re-executes them instead of replaying the outage.
+        """
+        failed = isinstance(result, WorkFailure) and not skipped
+        encoded = encode_payload(result)
         self.journal.append({
             "key": key,
             "stage": stage,
             "skipped": bool(skipped),
-            "result": encode_payload(result),
+            "failed": failed,
+            "result": encoded,
         })
-        if not skipped:
-            self._completed[key] = encode_payload(result)
+        if not skipped and not failed:
+            self._completed[key] = encoded
 
     def write_report(self, text: str) -> None:
         """Atomically persist the final report JSON into the run dir."""

@@ -293,17 +293,20 @@ class ParallelRunner:
                 results.append(skipped)
                 finish(index, index + 1, skipped)
                 continue
+            # Sample probe-ness at dispatch: allow() just transitioned to
+            # half-open iff this unit is the probe.
+            probe = breaker is not None and breaker.probing
             try:
                 result: Union[R, WorkFailure] = fn(item)
             except BaseException as exc:
                 if breaker is not None:
-                    breaker.record_failure(exc)
+                    breaker.record_failure(exc, probe=probe)
                 if on_error == "raise" or not isolable(exc):
                     raise
                 result = WorkFailure.from_exception(index, item, exc)
             else:
                 if breaker is not None:
-                    breaker.record_success()
+                    breaker.record_success(probe=probe)
             results.append(result)
             finish(index, index + 1, result)
         return results
@@ -326,6 +329,9 @@ class ParallelRunner:
         workers = min(self.jobs, total)
         window = workers * 2
         pending: dict[Future, int] = {}
+        #: Submission indices of dispatched half-open probes: only the
+        #: probe's own outcome may settle the breaker out of half-open.
+        probe_indices: set[int] = set()
         next_index = 0
         done = 0
         stopping = False
@@ -339,7 +345,7 @@ class ParallelRunner:
                     if stopping or (should_stop is not None and should_stop()):
                         stopping = True
                         return
-                    if breaker is not None and breaker.state == "half_open":
+                    if breaker is not None and breaker.probing:
                         # A probe is in flight: hold further dispatch (and
                         # further skipping) until its outcome settles the
                         # breaker one way or the other.
@@ -352,6 +358,9 @@ class ParallelRunner:
                         done += 1
                         finish(index, done, skipped)
                         continue
+                    if breaker is not None and breaker.probing:
+                        # allow() just converted this unit into the probe.
+                        probe_indices.add(index)
                     pending[pool.submit(fn, items[index])] = index
 
             submit_more()
@@ -360,13 +369,15 @@ class ParallelRunner:
                     completed, _ = wait(pending, return_when=FIRST_COMPLETED)
                     for future in completed:
                         index = pending.pop(future)
+                        is_probe = index in probe_indices
+                        probe_indices.discard(index)
                         if future.cancelled():
                             continue  # un-run unit dropped during a stop
                         try:
                             result: Union[R, WorkFailure] = future.result()
                         except BaseException as exc:
                             if breaker is not None:
-                                breaker.record_failure(exc)
+                                breaker.record_failure(exc, probe=is_probe)
                             if on_error == "raise" or not isolable(exc):
                                 raise
                             result = WorkFailure.from_exception(
@@ -374,7 +385,7 @@ class ParallelRunner:
                             )
                         else:
                             if breaker is not None:
-                                breaker.record_success()
+                                breaker.record_success(probe=is_probe)
                         slots[index] = result
                         done += 1
                         finish(index, done, result)
@@ -398,5 +409,14 @@ class ParallelRunner:
             raise RunInterrupted(
                 f"shutdown requested after {done}/{total} unit(s)",
                 done=done, total=total,
+            )
+        if done != total:
+            # Defense in depth: a normally-completed loop must have
+            # filled every slot.  Starvation here (e.g. a breaker wedged
+            # half-open with nothing in flight) would otherwise surface
+            # as silent None results that corrupt downstream reports.
+            raise RuntimeError(
+                f"executor invariant violated: {done}/{total} result "
+                "slots filled after dispatch loop exit"
             )
         return slots  # type: ignore[return-value]

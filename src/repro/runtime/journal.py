@@ -30,6 +30,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from .persist import fsync_directory
+
 #: ``<8 hex chars><space>`` -- the fixed-width checksum prefix.
 _CRC_WIDTH = 8
 
@@ -96,9 +98,15 @@ class Journal:
         """
         self.path = path
         self.fsync = fsync
-        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        self._directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(self._directory, exist_ok=True)
         self.replayed, self.recovery = self._recover()
+        created = not os.path.exists(path)
         self._handle = open(path, "ab")
+        if created and self.fsync:
+            # Durable appends are worthless if the file's own directory
+            # entry is lost to a power cut: sync it once at creation.
+            fsync_directory(self._directory)
         self._appended = 0
 
     def _recover(self) -> tuple[list[dict], JournalRecovery]:
@@ -130,6 +138,8 @@ class Journal:
             handle.truncate(invalid_at)
             handle.flush()
             os.fsync(handle.fileno())
+        if self.fsync:
+            fsync_directory(self._directory)
         return records, JournalRecovery(
             records=len(records), truncated_bytes=truncated, reason=reason
         )

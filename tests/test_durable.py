@@ -311,6 +311,56 @@ class TestDurableMap:
         assert isinstance(failure, WorkFailure)
         assert failure.index == 2  # not its todo-local index (1)
 
+    def test_failed_trials_reexecute_on_resume(self, tmp_path):
+        """A journaled real failure (e.g. retries exhausted against a
+        temporary outage) is not a completed trial: resume retries it,
+        so a run that limped through an outage heals."""
+        items = list(range(3))
+        keys = [unit_key("f", x=i) for i in items]
+        healthy = {"ok": False}
+
+        def flaky(x):
+            if x == 1 and not healthy["ok"]:
+                raise RetryExhaustedError("backend outage", attempts=3)
+            return x * 10
+
+        with RunState(str(tmp_path / "run")) as state:
+            ctx = RunContext(state=state)
+            first = ctx.map(
+                ParallelRunner(jobs=1), flaky, items, keys=keys,
+                stage="f", on_error="collect",
+            )
+        assert isinstance(first[1], WorkFailure)
+
+        healthy["ok"] = True  # the outage clears before the resume
+        with RunState(str(tmp_path / "run")) as state:
+            assert state.replayed_trials == 2  # the failure is not "done"
+            assert not state.completed(keys[1])
+            ctx = RunContext(state=state)
+            resumed = ctx.map(
+                ParallelRunner(jobs=1), flaky, items, keys=keys,
+                stage="f", on_error="collect",
+            )
+        assert resumed == [0, 10, 20]
+        assert ctx.replayed == 2 and ctx.executed == 1
+
+    def test_failure_then_success_replays_success(self, tmp_path):
+        """After a failed trial is retried successfully, a further
+        resume replays the success (latest record wins the index)."""
+        items = [0]
+        keys = [unit_key("f", x=0)]
+        with RunState(str(tmp_path / "run")) as state:
+            state.record(
+                keys[0],
+                WorkFailure(index=0, error_type="RetryExhaustedError",
+                            message="outage"),
+                stage="f",
+            )
+            state.record(keys[0], 42, stage="f")
+        with RunState(str(tmp_path / "run")) as state:
+            assert state.completed(keys[0])
+            assert state.result(keys[0]) == 42
+
     def test_interrupt_then_resume_is_identical(self, tmp_path):
         """Kill (via should_stop) mid-map, resume, and the merged result
         equals an uninterrupted run."""
@@ -372,9 +422,10 @@ class TestDurableFixExperiment:
         assert resumed.fixed_counts == fresh.fixed_counts == first.fixed_counts
         assert resumed.iterations == fresh.iterations
 
-    def test_different_config_different_keys(self, tiny_dataset, tmp_path):
-        """A changed result-relevant config field must not replay the
-        other config's journal records."""
+    def test_changed_config_same_run_dir_fails_fast(self, tiny_dataset, tmp_path):
+        """The standalone durable path pins a manifest: reusing a run
+        directory with a changed result-relevant config raises instead
+        of silently appending mismatched trials to the same journal."""
         run_dir = str(tmp_path / "run")
         run_fix_experiment(
             tiny_dataset, RTLFixer(max_iterations=2, run_dir=run_dir), repeats=1
@@ -382,14 +433,27 @@ class TestDurableFixExperiment:
         journal = Journal(os.path.join(run_dir, "journal.jsonl"))
         before = len(journal)
         journal.close()
-        run_fix_experiment(
-            tiny_dataset,
-            RTLFixer(max_iterations=3, run_dir=run_dir),
-            repeats=1,
-        )
+        with pytest.raises(CheckpointError, match="different configuration"):
+            run_fix_experiment(
+                tiny_dataset,
+                RTLFixer(max_iterations=3, run_dir=run_dir),
+                repeats=1,
+            )
         journal = Journal(os.path.join(run_dir, "journal.jsonl"))
-        assert len(journal) == 2 * before  # all trials re-ran, re-journaled
+        assert len(journal) == before  # nothing was appended
         journal.close()
+
+    def test_standalone_run_dir_writes_manifest(self, tiny_dataset, tmp_path):
+        """run_dir-on-config gets the same manifest protection as the
+        CLI path (config digest + stage pinned in manifest.json)."""
+        run_dir = str(tmp_path / "run")
+        fixer = RTLFixer(max_iterations=2, run_dir=run_dir)
+        run_fix_experiment(tiny_dataset, fixer, repeats=1)
+        with open(os.path.join(run_dir, "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["kind"] == "fix_experiment"
+        assert manifest["stage"] == "fix"
+        assert manifest["config"] == config_digest(fixer.config)
 
 
 # ---------------------------------------------------------------------------
@@ -474,6 +538,81 @@ class TestCircuitBreaker:
         snapshot = CircuitBreaker(failure_threshold=2).snapshot()
         assert snapshot["state"] == "closed"
         assert set(snapshot) >= {"state", "trips", "skipped"}
+
+    def test_transient_probe_failure_settles_half_open(self):
+        """A bare-transient probe failure must re-open the breaker, not
+        leave it wedged half-open forever (which starves dispatch)."""
+        breaker = CircuitBreaker(failure_threshold=1, probe_interval=1)
+        breaker.record_failure(RuntimeError("x"))
+        assert breaker.allow()  # immediate probe
+        assert breaker.probing
+        breaker.record_failure(TransientError("hiccup"))
+        assert breaker.state == "open"  # settled, not stuck half_open
+        assert breaker.consecutive_failures == 1  # transient not tallied
+        assert breaker.allow()  # probing resumes on the next interval
+
+    def test_non_probe_failure_while_probing_only_tallies(self):
+        """While a half-open probe is in flight, a counted failure from
+        another already-in-flight unit must not trip the breaker or
+        discard the probe's pending outcome."""
+        breaker = CircuitBreaker(failure_threshold=1, probe_interval=1)
+        breaker.record_failure(RuntimeError("x"))
+        assert breaker.allow()  # probe dispatched
+        trips = breaker.trips
+        breaker.record_failure(RuntimeError("straggler"), probe=False)
+        assert breaker.state == "half_open"
+        assert breaker.trips == trips  # telemetry not inflated
+        breaker.record_success(probe=True)  # the probe's own outcome
+        assert breaker.state == "closed"
+
+    def test_non_probe_success_leaves_probe_to_settle(self):
+        """A straggler success while half-open resets the tally but does
+        not close the breaker; the probe still settles the state."""
+        breaker = CircuitBreaker(failure_threshold=1, probe_interval=1)
+        breaker.record_failure(RuntimeError("x"))
+        assert breaker.allow()
+        breaker.record_success(probe=False)
+        assert breaker.state == "half_open" and breaker.probing
+        assert breaker.consecutive_failures == 0
+        breaker.record_failure(RuntimeError("still down"), probe=True)
+        assert breaker.state == "open"
+
+    def test_serial_run_survives_transient_probe_failures(self):
+        """End-to-end serial regression: once tripped, transient probe
+        failures keep the probe cadence going instead of silently
+        skipping every remaining trial."""
+        breaker = CircuitBreaker(failure_threshold=1, probe_interval=2)
+
+        def failing(x):
+            if x == 0:
+                raise RuntimeError("down")  # trips the breaker
+            raise TransientError("hiccup")  # every probe stays transient
+
+        results = ParallelRunner(jobs=1).map(
+            failing, list(range(6)), on_error="collect", breaker=breaker
+        )
+        assert all(isinstance(r, WorkFailure) for r in results)
+        # denial, probe, denial, probe, ... -- probes keep executing
+        assert [r.skipped for r in results] == [
+            False, True, False, True, False, True
+        ]
+
+    def test_pool_probe_transient_failure_fills_every_slot(self):
+        """Pool-backend regression: a transient probe failure must not
+        wedge the breaker half-open and leave undispatched units as
+        silent None slots in the result list."""
+        breaker = CircuitBreaker(failure_threshold=1, probe_interval=1)
+
+        def failing(x):
+            if x == 0:
+                raise RuntimeError("down")
+            raise TransientError("hiccup")
+
+        results = ParallelRunner(jobs=4, backend="thread").map(
+            failing, list(range(12)), on_error="collect", breaker=breaker
+        )
+        assert len(results) == 12
+        assert all(isinstance(r, WorkFailure) for r in results)  # no Nones
 
 
 # ---------------------------------------------------------------------------
