@@ -7,6 +7,9 @@
 #   scripts/bench.sh --all           # every bench    -> BENCH_all.json
 #   REPRO_BENCH_PROFILE=paper scripts/bench.sh   # full paper protocol
 #
+# The cold-vs-warm compile-pipeline bench is additionally emitted on its
+# own as BENCH_pipeline.json (override with BENCH_PIPELINE_JSON=).
+#
 # The chaos (fault-injection) suite and a fuzz smoke run first: perf
 # numbers for a runtime whose failure paths are broken, or a compiler
 # front-end that crashes on hostile input, are not worth recording.
@@ -45,3 +48,13 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
     python -m pytest "$target" --benchmark-only \
     --benchmark-json "$out" "$@"
 echo "benchmark results written to $out (profile: $profile)"
+
+# Dedicated cold-vs-warm pipeline artifact (per-stage breakdown under
+# extra_info) so the incremental-recompilation trajectory is tracked on
+# its own across PRs.
+pipeline_out="${BENCH_PIPELINE_JSON:-BENCH_pipeline.json}"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
+    python -m pytest benchmarks/test_bench_runtime.py \
+    -k pipeline_session --benchmark-only \
+    --benchmark-json "$pipeline_out"
+echo "pipeline benchmark written to $pipeline_out"

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # One-command CI gate: tier-1 tests, the chaos (fault-injection) suite,
-# a 200-iteration compiler front-end fuzz smoke, and the durable-run
+# a 200-iteration compiler front-end fuzz smoke, the pipeline
+# differential (warm CompileSession vs cold compile_source over the full
+# 212-sample dataset, both flavours, bit-identical), and the durable-run
 # resume smoke (run, SIGKILL, resume, compare report digests).  Exits
 # non-zero if any stage fails; later stages still run so one log shows
 # every break.
 #
 # Usage:
-#   scripts/ci.sh                # all four stages
+#   scripts/ci.sh                # all five stages
 #   FUZZ_ITERATIONS=1000 scripts/ci.sh   # deeper fuzz stage
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +25,9 @@ python -m pytest tests/test_faults.py -m chaos -q || status=1
 
 echo "== fuzz smoke ($iterations iterations, seed 0) =="
 python -m repro.cli fuzz --seed 0 --iterations "$iterations" || status=1
+
+echo "== pipeline differential (warm session vs cold compile, full dataset) =="
+python scripts/pipeline_diff.py || status=1
 
 echo "== resume smoke (run, kill -9, resume, compare digests) =="
 python scripts/resume_smoke.py || status=1

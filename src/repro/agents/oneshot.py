@@ -18,7 +18,12 @@ from .transcript import Transcript
 
 
 class OneShotAgent:
-    """Single-turn repair baseline."""
+    """Single-turn repair baseline.
+
+    Both compiles (the original and the one revision) go through the
+    shared :class:`~repro.diagnostics.Compiler`, so the second compile
+    reuses the first one's unchanged pipeline stage artifacts.
+    """
 
     def __init__(
         self,

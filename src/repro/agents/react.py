@@ -42,7 +42,14 @@ class AgentResult:
 
 
 class ReActAgent:
-    """LLM-as-autonomous-agent with Compiler / RAG / Finish actions."""
+    """LLM-as-autonomous-agent with Compiler / RAG / Finish actions.
+
+    The agent holds one :class:`~repro.diagnostics.Compiler` for its
+    whole run; since each iteration edits only part of the previous
+    candidate, the compiler's staged pipeline session
+    (:class:`~repro.verilog.pipeline.CompileSession`) reuses unchanged
+    stage artifacts across iterations instead of recompiling cold.
+    """
 
     def __init__(
         self,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..diagnostics import compile_source
+from ..diagnostics import Compiler
 from ..llm.simfix import SimulatedLogicDebugger
 from ..sim.feedback import make_sim_feedback
 from .transcript import Transcript
@@ -44,13 +44,17 @@ class SimDebugAgent:
         self.model = model or SimulatedLogicDebugger()
         self.max_iterations = max_iterations
         self.sim_samples = sim_samples
+        #: Session-backed compiler: candidate edits across iterations
+        #: are small, so the staged pipeline's incremental recompilation
+        #: (and the whole-result cache) carry most of the work.
+        self.compiler = Compiler()
 
     def run(
         self, code: str, reference_code: str, difficulty: str = "hard"
     ) -> SimFixResult:
         transcript = Transcript()
-        reference = compile_source(reference_code).elaborated
-        compiled = compile_source(code)
+        reference = self.compiler.compile(reference_code).elaborated
+        compiled = self.compiler.compile(code)
         if not compiled.ok or compiled.elaborated is None or reference is None:
             return SimFixResult(
                 success=False, final_code=code, iterations=0,
@@ -77,7 +81,7 @@ class SimDebugAgent:
                 transcript.add(step.thought, "Finish", "give up", feedback.text)
                 break
             iterations += 1
-            compiled = compile_source(step.code)
+            compiled = self.compiler.compile(step.code)
             if not compiled.ok or compiled.elaborated is None:
                 transcript.add(step.thought, "Simulator", _head(step.code),
                                "edit broke compilation; reverted")

@@ -27,7 +27,9 @@ from ..runtime import (
     CompileCache,
     RunContext,
     RunState,
+    StageCache,
     use_compile_cache,
+    use_stage_cache,
 )
 from .experiments import (
     PAPER_TABLE1,
@@ -83,6 +85,11 @@ class FullReport:
     #: were served from the journal vs dispatched).  Runtime telemetry
     #: -- excluded from ``to_json`` like ``cache``/``breaker``.
     resume: dict = field(default_factory=dict)
+    #: Per-stage pipeline counters (stage hits/misses, stage seconds,
+    #: incremental-lex and parse-segment reuse) from the run's shared
+    #: :class:`~repro.runtime.StageCache`.  Runtime telemetry --
+    #: excluded from ``to_json`` like ``cache``/``breaker``/``resume``.
+    pipeline: dict = field(default_factory=dict)
     rendered: dict = field(default_factory=dict)
 
     @property
@@ -99,9 +106,10 @@ class FullReport:
         """Deterministic report JSON.
 
         Only experiment *results* are included.  Runtime telemetry
-        (``cache``, ``breaker``, ``resume``) is deliberately excluded so
-        a resumed run's report is byte-identical to an uninterrupted
-        one -- telemetry lives on the report object and in the markdown.
+        (``cache``, ``pipeline``, ``breaker``, ``resume``) is
+        deliberately excluded so a resumed run's report is
+        byte-identical to an uninterrupted one -- telemetry lives on
+        the report object and in the markdown.
         """
         payload = {
             "scale": vars(self.scale),
@@ -119,8 +127,8 @@ class FullReport:
     def to_markdown(self) -> str:
         sections = ["# Reproduction report\n"]
         for name in ("table1", "table2", "table3", "figure4", "figure7",
-                     "figure6", "simfix", "cache", "resume", "breaker",
-                     "failures"):
+                     "figure6", "simfix", "cache", "pipeline", "resume",
+                     "breaker", "failures"):
             if name in self.rendered:
                 sections.append(f"## {name}\n\n```\n{self.rendered[name]}\n```\n")
         return "\n".join(sections)
@@ -150,7 +158,9 @@ def run_full_report(
     """Run every experiment and collect a paper-vs-measured report.
 
     The whole run executes under a fresh content-addressed compile cache
-    (its hit/miss/eviction counters land in ``report.cache``); ``jobs``
+    (its hit/miss/eviction counters land in ``report.cache``) and a
+    fresh per-stage pipeline cache (its stage counters and timings land
+    in ``report.pipeline``); ``jobs``
     fans every driver's work units across that many workers (0 = all
     CPUs) without changing any result.  ``on_error="collect"`` turns on
     failure isolation: failed work units are recorded per stage in
@@ -178,13 +188,18 @@ def run_full_report(
         state.ensure_manifest(report_manifest(scale), resume=resume)
     ctx = RunContext(state=state, breaker=breaker, should_stop=should_stop)
     cache = CompileCache()
+    stage_cache = StageCache()
     try:
-        with use_compile_cache(cache):
+        with use_compile_cache(cache), use_stage_cache(stage_cache):
             report = _run_experiments(scale, dataset, progress, jobs, on_error, ctx)
         report.cache = cache.stats.as_dict()
+        report.pipeline = stage_cache.stats.as_dict()
         report.resume = ctx.stats()
         report.rendered["cache"] = "\n".join(
             f"{key}: {value}" for key, value in report.cache.items()
+        )
+        report.rendered["pipeline"] = "\n".join(
+            f"{key}: {value}" for key, value in report.pipeline.items()
         )
         report.rendered["resume"] = "\n".join(
             f"{key}: {value}" for key, value in report.resume.items()

@@ -11,7 +11,9 @@
   the differential testbench (the paper's evaluation flow).  Both
   evaluators route compilation through the content-addressed compile
   cache, so a problem's golden reference is elaborated once -- not once
-  per sample.
+  per sample.  Cache misses still compile warm: each fixer's
+  :class:`~repro.verilog.pipeline.CompileSession` reuses unchanged
+  stage artifacts from the run-wide stage cache.
 """
 
 from __future__ import annotations

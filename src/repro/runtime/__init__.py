@@ -61,6 +61,20 @@ from .cache import (
     set_active_cache,
     use_compile_cache,
 )
+
+# Stage-granular counterpart of the whole-result compile cache: the
+# staged pipeline's artifact cache and incremental CompileSession
+# (defined in repro.verilog.pipeline, re-exported here beside the
+# runtime's other caching/observability surface).
+from ..verilog.pipeline import (
+    CompileSession,
+    PipelineStats,
+    StageCache,
+    get_active_stage_cache,
+    no_stage_cache,
+    set_active_stage_cache,
+    use_stage_cache,
+)
 from .executor import (
     ParallelRunner,
     WorkFailure,
@@ -95,6 +109,13 @@ from .retry import (
 __all__ = [
     "CacheStats",
     "ChaosCompiler",
+    "CompileSession",
+    "PipelineStats",
+    "StageCache",
+    "get_active_stage_cache",
+    "no_stage_cache",
+    "set_active_stage_cache",
+    "use_stage_cache",
     "CircuitBreaker",
     "GracefulShutdown",
     "Journal",

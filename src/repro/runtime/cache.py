@@ -41,7 +41,7 @@ import threading
 from collections import Counter, OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 if TYPE_CHECKING:  # runtime import is deferred to avoid a cycle with
     # repro.diagnostics, whose Compiler facade routes through this cache.
@@ -160,8 +160,16 @@ class CompileCache:
         flavor: str = "iverilog",
         include_files: Optional[dict[str, str]] = None,
         limits: "Optional[ResourceLimits]" = None,
+        compute: Optional[Callable[[], "CompileResult"]] = None,
     ) -> "CompileResult":
-        """Return the (possibly cached) result of compiling ``code``."""
+        """Return the (possibly cached) result of compiling ``code``.
+
+        ``compute`` overrides how a *miss* is materialized (e.g. the
+        ``Compiler`` facade supplies its incremental
+        :class:`~repro.verilog.pipeline.CompileSession`); it must be
+        bit-identical to ``compile_source`` on the same inputs -- the
+        cache key stays a pure content address either way.
+        """
         key = compile_key(
             code, name=name, flavor=flavor, include_files=include_files,
             limits=limits,
@@ -191,10 +199,13 @@ class CompileCache:
         from ..diagnostics.compiler import compile_source
 
         try:
-            result = compile_source(
-                code, name=name, flavor=flavor, include_files=include_files,
-                limits=limits,
-            )
+            if compute is not None:
+                result = compute()
+            else:
+                result = compile_source(
+                    code, name=name, flavor=flavor, include_files=include_files,
+                    limits=limits,
+                )
             with self._lock:
                 self._entries[key] = result
                 self._entries.move_to_end(key)
@@ -309,11 +320,19 @@ def cached_compile(
     flavor: str = "iverilog",
     include_files: Optional[dict[str, str]] = None,
     limits: "Optional[ResourceLimits]" = None,
+    compute: Optional[Callable[[], "CompileResult"]] = None,
 ) -> "CompileResult":
     """Drop-in replacement for ``compile_source`` that consults the
-    active :class:`CompileCache` (and falls through when none is set)."""
+    active :class:`CompileCache` (and falls through when none is set).
+
+    ``compute``, when given, materializes misses (and the no-cache
+    fallback) instead of ``compile_source`` -- the hook the ``Compiler``
+    facade uses to route through its incremental pipeline session.
+    """
     cache = _active_cache
     if cache is None:
+        if compute is not None:
+            return compute()
         from ..diagnostics.compiler import compile_source
 
         return compile_source(
@@ -322,5 +341,5 @@ def cached_compile(
         )
     return cache.compile(
         code, name=name, flavor=flavor, include_files=include_files,
-        limits=limits,
+        limits=limits, compute=compute,
     )

@@ -16,7 +16,13 @@ cross-checks the invariants the rest of the system relies on:
 3. **cache transparency** -- compiling through a fresh
    :class:`~repro.runtime.cache.CompileCache` returns the same verdict
    as the uncached run (checked on a deterministic subsample);
-4. **bounded time** -- each input compiles within a wall-clock budget.
+4. **bounded time** -- each input compiles within a wall-clock budget;
+5. **pipeline differential** -- a *warm* incremental
+   :class:`~repro.verilog.pipeline.CompileSession` (held across all
+   iterations, so every compile is an "edit" of the previous input)
+   produces results bit-identical to the cold ``compile_source`` run,
+   in both flavors (:func:`~repro.verilog.pipeline.result_fingerprint`
+   is the equality witness).
 
 Determinism is the backbone: iteration ``i`` of seed ``s`` derives all
 randomness from ``random.Random(f"fuzz|{s}|{i}")``, so a failing
@@ -339,11 +345,25 @@ def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
     contract it is checking.
     """
     from ..diagnostics.compiler import compile_source
+    from ..verilog.pipeline import (
+        CompileSession,
+        StageCache,
+        result_fingerprint,
+        use_stage_cache,
+    )
     from .cache import CompileCache, no_compile_cache
 
     config = config if config is not None else FuzzConfig()
     report = FuzzReport(config=config)
     start = time.monotonic()
+
+    # The pipeline-differential invariant holds one warm session (and
+    # one private stage cache) across the entire run: every iteration's
+    # input is an "edit" of the previous one from the session's point of
+    # view, so incremental lex resume and parse-segment replay are
+    # exercised against maximally hostile sources.
+    session = CompileSession(limits=config.limits)
+    stage_cache = StageCache()
 
     for iteration in range(config.iterations):
         code, includes, picked = _fuzz_one(config, iteration)
@@ -396,6 +416,23 @@ def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
                 f"iverilog (ok={iv.ok}, crashed={iv.crashed}) != "
                 f"quartus (ok={qu.ok}, crashed={qu.crashed})",
             )
+
+        try:
+            with use_stage_cache(stage_cache):
+                for flavor in ("iverilog", "quartus"):
+                    warm = session.compile(
+                        code, flavor=flavor, include_files=includes or None
+                    )
+                    if result_fingerprint(warm) != result_fingerprint(
+                        results[flavor]
+                    ):
+                        fail(
+                            "pipeline-differential",
+                            f"warm CompileSession diverged from cold "
+                            f"compile_source ({flavor})",
+                        )
+        except BaseException as exc:
+            fail("no-exception", f"session path: {type(exc).__name__}: {exc}")
 
         verdict = _verdict(iv)
         report.verdicts.append(verdict)

@@ -23,8 +23,36 @@ from .source import SourceFile, Span
 from .symbols import Scope, Symbol
 from .writer import write_design, write_expr, write_module, write_stmt
 
+# Imported last: the staged pipeline composes every front-end stage above.
+from .pipeline import (
+    DEFAULT_STAGE_CACHE,
+    DEFAULT_STAGE_MAXSIZE,
+    Artifact,
+    CompileSession,
+    PipelineStats,
+    Stage,
+    StageCache,
+    get_active_stage_cache,
+    no_stage_cache,
+    result_fingerprint,
+    set_active_stage_cache,
+    use_stage_cache,
+)
+
 __all__ = [
+    "Artifact",
+    "CompileSession",
     "DEFAULT_LIMITS",
+    "DEFAULT_STAGE_CACHE",
+    "DEFAULT_STAGE_MAXSIZE",
+    "PipelineStats",
+    "Stage",
+    "StageCache",
+    "get_active_stage_cache",
+    "no_stage_cache",
+    "result_fingerprint",
+    "set_active_stage_cache",
+    "use_stage_cache",
     "Design",
     "ElabDesign",
     "ElabModule",

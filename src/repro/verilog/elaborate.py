@@ -179,9 +179,7 @@ class Elaborator:
         once the budget is exhausted."""
         if self.tracker.charge(kind):
             return False
-        diag = self.tracker.diagnose(kind, span)
-        if diag is not None:
-            self.sink.append(diag)
+        self.tracker.report_overflow(kind, span, self.sink)
         return True
 
     def error(self, category: ErrorCategory, span, **args: object) -> None:

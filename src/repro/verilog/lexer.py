@@ -35,10 +35,19 @@ class Lexer:
     stream with EOF instead of chewing through megabytes of garbage.
     """
 
-    def __init__(self, source: SourceFile, sink: list[Diagnostic], tracker=None):
+    def __init__(
+        self,
+        source: SourceFile,
+        sink: list[Diagnostic],
+        tracker=None,
+        start: int = 0,
+    ):
         self.source = source
         self.text = source.text
-        self.pos = 0
+        #: ``start`` lets an incremental caller resume lexing mid-source
+        #: (the lexer is stateless between tokens, so resuming at a known
+        #: token boundary yields exactly the cold token suffix).
+        self.pos = start
         self.sink = sink
         self.tracker = tracker
 
@@ -46,11 +55,9 @@ class Lexer:
         tokens: list[Token] = []
         while True:
             if self.tracker is not None and not self.tracker.charge("tokens"):
-                diag = self.tracker.diagnose(
-                    "tokens", self._span(self.pos, self.pos + 1)
+                self.tracker.report_overflow(
+                    "tokens", self._span(self.pos, self.pos + 1), self.sink
                 )
-                if diag is not None:
-                    self.sink.append(diag)
                 tokens.append(Token(TokenKind.EOF, "", self._span(self.pos)))
                 return tokens
             token = self._next_token()

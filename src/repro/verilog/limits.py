@@ -147,6 +147,20 @@ class LimitTracker:
             {"what": kind, "limit": self.limits.limit_for(kind)},
         )
 
+    def report_overflow(self, kind: str, span: Span | None, sink) -> None:
+        """Report ``kind``'s violation into ``sink`` (once per kind).
+
+        The one overflow-reporting path every stage shares: stages call
+        this right after an over-budget :meth:`charge`/:meth:`within`
+        instead of hand-rolling the ``diagnose``-then-append idiom, so
+        there is no private limit path anywhere in the front-end.
+        ``sink`` is any list-compatible diagnostic sink (including a
+        :class:`~repro.diagnostics.engine.StageSink`).
+        """
+        diag = self.diagnose(kind, span)
+        if diag is not None:
+            sink.append(diag)
+
     def check_or_raise(self, kind: str, value: int) -> None:
         """Raise :class:`~repro.errors.ResourceLimitExceeded` when an
         absolute ``value`` breaks the bound for ``kind`` (used by stages

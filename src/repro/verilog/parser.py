@@ -82,9 +82,9 @@ class Parser:
         """
         self._depth += 1
         if not self.tracker.within("parse nesting depth", self._depth):
-            diag = self.tracker.diagnose("parse nesting depth", self.cur.span)
-            if diag is not None:
-                self.sink.append(diag)
+            self.tracker.report_overflow(
+                "parse nesting depth", self.cur.span, self.sink
+            )
             raise _GiveUp()
 
     def _leave(self) -> None:

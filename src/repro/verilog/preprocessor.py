@@ -201,9 +201,9 @@ def _expand_include(
         )
         return ""
     if not tracker.within("include nesting depth", depth + 1):
-        diag = tracker.diagnose("include nesting depth", _line_span(source, lineno))
-        if diag is not None:
-            result.diagnostics.append(diag)
+        tracker.report_overflow(
+            "include nesting depth", _line_span(source, lineno), result.diagnostics
+        )
         return ""
     sub = preprocess(
         SourceFile(fname, include_files[fname]),
@@ -268,18 +268,16 @@ def _expand_macros(
                 )
             return "0"
         if not tracker.within("macro nesting depth", len(stack) + 1):
-            diag = tracker.diagnose(
-                "macro nesting depth", _line_span(source, lineno)
+            tracker.report_overflow(
+                "macro nesting depth", _line_span(source, lineno),
+                result.diagnostics,
             )
-            if diag is not None:
-                result.diagnostics.append(diag)
             return "0"
         if not tracker.charge("macro expansions"):
-            diag = tracker.diagnose(
-                "macro expansions", _line_span(source, lineno)
+            tracker.report_overflow(
+                "macro expansions", _line_span(source, lineno),
+                result.diagnostics,
             )
-            if diag is not None:
-                result.diagnostics.append(diag)
             return "0"
         return _expand_macros(
             macros[name], lineno, macros, result, source, tracker,
