@@ -1,20 +1,25 @@
 """Runtime-subsystem benchmarks: content-addressed compile cache,
-staged compile pipeline and parallel experiment executor.
+staged compile pipeline, simulation engines and parallel experiment
+executor.
 
 Measures the speedups the runtime provides -- cold vs warm compile
 cache, cold vs warm pipeline sessions across an agent-style edit
-sequence (with a per-stage time breakdown), and serial vs parallel
-experiment fan-out -- and asserts the determinism contracts (parallel
-results bit-identical to serial, warm session results bit-identical to
-cold compiles) plus the zero-redundant-reference-compilation property
-on the Table 2 path.
+sequence (with a per-stage time breakdown), compiled vs interpreting
+simulation (simulated cycles/sec), cold vs warm verdict memoization,
+and serial vs parallel experiment fan-out -- and asserts the
+determinism contracts (parallel results bit-identical to serial, warm
+session results bit-identical to cold compiles, compiled simulation
+bit-identical to the interpreter) plus the
+zero-redundant-reference-compilation property on the Table 2 path.
 
 Machine-readable output: run via ``scripts/bench.sh`` (or pass
 ``--benchmark-json BENCH_runtime.json``) to track the perf trajectory
-across PRs.
+across PRs; the ``sim_`` benches are additionally emitted as
+``BENCH_sim.json``.
 """
 
 import os
+import random
 import time
 
 from conftest import report
@@ -30,6 +35,13 @@ from repro.runtime import (
     ParallelRunner,
     no_compile_cache,
     use_compile_cache,
+)
+from repro.sim import (
+    VerdictCache,
+    make_simulator,
+    no_verdict_cache,
+    run_differential,
+    use_verdict_cache,
 )
 from repro.verilog.pipeline import (
     CompileSession,
@@ -305,3 +317,156 @@ def test_journal_overhead_per_trial(benchmark, tmp_path):
     # An fsync'd append must stay far below the cost of one trial (tens
     # of ms of fix work): 25ms is generous even for slow CI disks.
     assert per_append_ms < 25, f"journal append too slow: {per_append_ms:.1f}ms"
+
+
+# A register pipeline with comb glue: the shape the fast path is built
+# for (edge-sensitive NBAs over known two-state values after reset).
+_SIM_DUT = """
+module bench_dut(
+    input clk, input reset, input [7:0] a, input [7:0] b,
+    output [7:0] y, output reg [7:0] acc
+);
+  reg [7:0] s0, s1, s2, s3;
+  wire [7:0] m = (a & b) ^ (a >> 1);
+  always @(posedge clk) begin
+    if (reset) begin
+      s0 <= 0; s1 <= 0; s2 <= 0; s3 <= 0; acc <= 0;
+    end else begin
+      s0 <= a + b;
+      s1 <= s0 ^ m;
+      s2 <= s1 + {4'h0, s0[7:4]};
+      s3 <= s2 < s1 ? s2 + 8'd3 : s2 - s1;
+      acc <= acc + s3;
+    end
+  end
+  assign y = s3 ^ acc;
+endmodule
+"""
+
+_SIM_CYCLES = 2000
+
+
+def _drive_cycles(sim, cycles):
+    """Reset then clock ``cycles`` cycles of seeded random stimulus."""
+    rng = random.Random(7)
+    for cycle in range(cycles):
+        sim.step({
+            "clk": 0,
+            "reset": 1 if cycle < 2 else 0,
+            "a": rng.getrandbits(8),
+            "b": rng.getrandbits(8),
+        })
+        sim.step({"clk": 1})
+    return sim
+
+
+def test_sim_compiled_vs_interp_throughput(benchmark):
+    """The closure-lowered engine must sustain >= 5x the interpreter's
+    simulated-cycles/sec on a fast-path-friendly register pipeline,
+    bit-identically (the headline tentpole number in BENCH_sim.json)."""
+    design = compile_source(_SIM_DUT).elaborated
+    assert design is not None
+
+    interp_sim, t_interp = _timed(
+        lambda: _drive_cycles(make_simulator(design, engine="interp"),
+                              _SIM_CYCLES)
+    )
+
+    def compiled_run():
+        return _drive_cycles(
+            make_simulator(design, engine="compiled"), _SIM_CYCLES
+        )
+
+    benchmark.pedantic(compiled_run, rounds=3, iterations=1)
+    compiled_sim, t_compiled = _timed(compiled_run)
+
+    # Bit-identical end state (X/Z flags included), and the fast path --
+    # not the interpreter fallback -- did the work.
+    assert dict(compiled_sim.state.values) == dict(interp_sim.state.values)
+    assert compiled_sim.fast_runs > 0
+    assert compiled_sim.demotions < compiled_sim.fast_runs / 100
+
+    speedup = t_interp / t_compiled if t_compiled else float("inf")
+    interp_rate = _SIM_CYCLES / t_interp if t_interp else 0.0
+    compiled_rate = _SIM_CYCLES / t_compiled if t_compiled else 0.0
+    benchmark.extra_info["interp_seconds"] = round(t_interp, 4)
+    benchmark.extra_info["compiled_seconds"] = round(t_compiled, 4)
+    benchmark.extra_info["interp_cycles_per_sec"] = round(interp_rate)
+    benchmark.extra_info["compiled_cycles_per_sec"] = round(compiled_rate)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark.extra_info["fast_runs"] = compiled_sim.fast_runs
+    benchmark.extra_info["demotions"] = compiled_sim.demotions
+    report(
+        "Sim: compiled engine vs interpreter (register pipeline)",
+        render_table(
+            ["cycles", "interp (s)", "compiled (s)",
+             "interp cyc/s", "compiled cyc/s", "speedup"],
+            [[_SIM_CYCLES, f"{t_interp:.3f}", f"{t_compiled:.3f}",
+              f"{interp_rate:,.0f}", f"{compiled_rate:,.0f}",
+              f"{speedup:.1f}x"]],
+        ),
+    )
+    # The tentpole acceptance floor (target is 10x; 5x is the hard gate).
+    assert speedup >= 5, f"compiled engine only {speedup:.1f}x faster"
+
+
+def test_sim_verdict_cache_cold_vs_warm(benchmark):
+    """A repeated (candidate, reference, stimulus) triple must return the
+    memoized verdict without simulating at all."""
+    problems = [
+        CORPUS.get(pid)
+        for pid in ("mux2to1", "counter4_reset", "fsm_seq101", "popcount8")
+    ]
+    pairs = [
+        compile_source(p.reference).elaborated for p in problems
+    ]
+    assert all(design is not None for design in pairs)
+
+    def run_all():
+        return [
+            _verdict_summary(run_differential(design, design, samples=32))
+            for design in pairs
+        ]
+
+    with no_verdict_cache():
+        uncached, t_uncached = _timed(run_all)
+
+    cache = VerdictCache()
+    with use_verdict_cache(cache):
+        cold, t_cold = _timed(run_all)
+
+        def warm():
+            return run_all()
+
+        benchmark.pedantic(warm, rounds=3, iterations=1)
+        warm_results, t_warm = _timed(warm)
+
+    assert warm_results == cold == uncached  # memoization is invisible
+    assert cache.stats.misses == len(pairs)
+    assert cache.stats.hits >= 4 * len(pairs)
+    assert cache.stats.simulations_avoided >= 4 * len(pairs)
+
+    speedup = t_cold / t_warm if t_warm else float("inf")
+    stats = cache.stats.as_dict()
+    benchmark.extra_info["cold_seconds"] = round(t_cold, 4)
+    benchmark.extra_info["warm_seconds"] = round(t_warm, 5)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark.extra_info.update(stats)
+    report(
+        "Sim: verdict cache cold vs warm (whole-testbench memoization)",
+        render_table(
+            ["designs", "cold (s)", "warm (s)", "speedup",
+             "runs avoided", "hit rate"],
+            [[len(pairs), f"{t_cold:.3f}", f"{t_warm:.5f}", f"{speedup:.0f}x",
+              stats["simulations_avoided"], f"{stats['hit_rate']:.1%}"]],
+        ),
+    )
+    # A verdict hit skips the entire testbench: construction, stimulus,
+    # simulation and comparison.  100x is conservative.
+    assert t_warm < t_cold / 100, f"verdict cache only {speedup:.0f}x faster"
+
+
+def _verdict_summary(result):
+    """Comparable summary of one TestbenchResult."""
+    return (result.passed, result.samples, result.mismatch_count,
+            result.failure_reason)

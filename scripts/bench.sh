@@ -8,7 +8,9 @@
 #   REPRO_BENCH_PROFILE=paper scripts/bench.sh   # full paper protocol
 #
 # The cold-vs-warm compile-pipeline bench is additionally emitted on its
-# own as BENCH_pipeline.json (override with BENCH_PIPELINE_JSON=).
+# own as BENCH_pipeline.json (override with BENCH_PIPELINE_JSON=), and
+# the simulation-engine benches (compiled vs interp throughput, verdict
+# cache) as BENCH_sim.json (override with BENCH_SIM_JSON=).
 #
 # The chaos (fault-injection) suite and a fuzz smoke run first: perf
 # numbers for a runtime whose failure paths are broken, or a compiler
@@ -44,11 +46,6 @@ if [[ "${1:-}" == "--all" ]]; then
     out="${BENCH_JSON:-BENCH_all.json}"
 fi
 
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
-    python -m pytest "$target" --benchmark-only \
-    --benchmark-json "$out" "$@"
-echo "benchmark results written to $out (profile: $profile)"
-
 # Dedicated cold-vs-warm pipeline artifact (per-stage breakdown under
 # extra_info) so the incremental-recompilation trajectory is tracked on
 # its own across PRs.
@@ -58,3 +55,21 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
     -k pipeline_session --benchmark-only \
     --benchmark-json "$pipeline_out"
 echo "pipeline benchmark written to $pipeline_out"
+
+# Dedicated simulation-engine artifact: compiled-vs-interp throughput
+# (simulated cycles/sec under extra_info) and verdict-cache warm-vs-cold,
+# so the simulator speedup is tracked on its own across PRs.
+sim_out="${BENCH_SIM_JSON:-BENCH_sim.json}"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
+    python -m pytest benchmarks/test_bench_runtime.py \
+    -k "sim_" --benchmark-only \
+    --benchmark-json "$sim_out"
+echo "simulation benchmark written to $sim_out"
+
+# The main run goes last: every pytest session rewrites the tracked
+# benchmark_results.txt, so the broadest table set must be the one that
+# lands in the file.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
+    python -m pytest "$target" --benchmark-only \
+    --benchmark-json "$out" "$@"
+echo "benchmark results written to $out (profile: $profile)"

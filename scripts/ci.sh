@@ -2,13 +2,15 @@
 # One-command CI gate: tier-1 tests, the chaos (fault-injection) suite,
 # a 200-iteration compiler front-end fuzz smoke, the pipeline
 # differential (warm CompileSession vs cold compile_source over the full
-# 212-sample dataset, both flavours, bit-identical), and the durable-run
+# 212-sample dataset, both flavours, bit-identical), the simulator
+# differential (compiled engine vs interpreter over every corpus
+# reference, verdicts and traces bit-identical), and the durable-run
 # resume smoke (run, SIGKILL, resume, compare report digests).  Exits
 # non-zero if any stage fails; later stages still run so one log shows
 # every break.
 #
 # Usage:
-#   scripts/ci.sh                # all five stages
+#   scripts/ci.sh                # all six stages
 #   FUZZ_ITERATIONS=1000 scripts/ci.sh   # deeper fuzz stage
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -28,6 +30,9 @@ python -m repro.cli fuzz --seed 0 --iterations "$iterations" || status=1
 
 echo "== pipeline differential (warm session vs cold compile, full dataset) =="
 python scripts/pipeline_diff.py || status=1
+
+echo "== simulator differential (compiled engine vs interp, full corpus) =="
+python scripts/sim_diff.py || status=1
 
 echo "== resume smoke (run, kill -9, resume, compare digests) =="
 python scripts/resume_smoke.py || status=1

@@ -111,7 +111,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .errors import CheckpointError, RunInterrupted
     from .eval.report import ReportScale, run_full_report
     from .runtime import GracefulShutdown, atomic_write_text
+    from .sim import set_default_sim_engine
 
+    if args.sim_engine:
+        set_default_sim_engine(args.sim_engine)
     if args.resume and not args.run_dir:
         print("error: --resume requires --run-dir", file=sys.stderr)
         return EXIT_CHECKPOINT_MISUSE
@@ -176,6 +179,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"(hit rate {pipe['hit_rate']:.1%}), "
         f"{pipe['tokens_reused']} tokens and "
         f"{pipe['segments_reused']} parse segments reused incrementally",
+        file=sys.stderr,
+    )
+    sim = report.sim
+    print(
+        f"# sim: engine={sim['engine']}, {sim['hits']} verdict-cache hits, "
+        f"{sim['misses']} misses, {sim['simulations_avoided']} testbench "
+        f"runs avoided (hit rate {sim['hit_rate']:.1%})",
         file=sys.stderr,
     )
     if args.run_dir:
@@ -318,6 +328,13 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--simfix-samples", type=int, default=2)
     rep.add_argument("--no-gpt4", action="store_true",
                      help="skip the GPT-4 ablation rows")
+    rep.add_argument(
+        "--sim-engine", choices=["compiled", "interp"], default=None,
+        help="simulation engine for all testbench runs: 'compiled' "
+        "(closure-lowered two-state fast path, the default) or 'interp' "
+        "(the reference AST-walking 4-state interpreter); both produce "
+        "bit-identical verdicts",
+    )
     rep.set_defaults(func=_cmd_report)
 
     fz = sub.add_parser(

@@ -254,11 +254,36 @@ class DiagnosticEngine:
         """Assemble the final :class:`~repro.diagnostics.compiler.CompileResult`
         from everything recorded so far (deduplicated, crash flag carried)."""
         from .compiler import CompileResult
+        from .diagnostic import Severity
+
+        diagnostics = self.diagnostics()
+        if (
+            elaborated is not None
+            and getattr(elaborated, "digest", None) is None
+            and not self.crashed
+            and not any(d.severity is Severity.ERROR for d in diagnostics)
+        ):
+            # Stamp the design's content identity.  Both compile paths
+            # (cold compile_source and the staged pipeline) converge
+            # here, and only error-free elaborations get a digest: with
+            # no errors, elaboration is a pure function of the
+            # preprocessed text, so the digest is a sound cache key for
+            # anything derived from the design (compiled simulators,
+            # testbench verdicts).  Error-bearing results may be
+            # partially elaborated under resource limits and stay
+            # ``None`` = uncacheable.
+            import hashlib
+
+            text = getattr(source, "text", None)
+            if isinstance(text, str):
+                elaborated.digest = hashlib.sha256(
+                    text.encode("utf-8", "surrogatepass")
+                ).hexdigest()
 
         return CompileResult(
             source=source,
             flavor=flavor,
-            diagnostics=self.diagnostics(),
+            diagnostics=diagnostics,
             design=design,
             elaborated=elaborated,
             crashed=self.crashed,

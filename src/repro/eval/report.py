@@ -31,6 +31,8 @@ from ..runtime import (
     use_compile_cache,
     use_stage_cache,
 )
+from ..sim.engine import get_default_sim_engine
+from ..sim.verdict import VerdictCache, use_verdict_cache
 from .experiments import (
     PAPER_TABLE1,
     PAPER_TABLE2,
@@ -90,6 +92,10 @@ class FullReport:
     #: :class:`~repro.runtime.StageCache`.  Runtime telemetry --
     #: excluded from ``to_json`` like ``cache``/``breaker``/``resume``.
     pipeline: dict = field(default_factory=dict)
+    #: Simulation telemetry: the active engine plus the run's
+    #: verdict-cache counters (hits = whole testbench runs skipped).
+    #: Runtime telemetry -- excluded from ``to_json`` like the rest.
+    sim: dict = field(default_factory=dict)
     rendered: dict = field(default_factory=dict)
 
     @property
@@ -127,8 +133,8 @@ class FullReport:
     def to_markdown(self) -> str:
         sections = ["# Reproduction report\n"]
         for name in ("table1", "table2", "table3", "figure4", "figure7",
-                     "figure6", "simfix", "cache", "pipeline", "resume",
-                     "breaker", "failures"):
+                     "figure6", "simfix", "cache", "pipeline", "sim",
+                     "resume", "breaker", "failures"):
             if name in self.rendered:
                 sections.append(f"## {name}\n\n```\n{self.rendered[name]}\n```\n")
         return "\n".join(sections)
@@ -189,17 +195,26 @@ def run_full_report(
     ctx = RunContext(state=state, breaker=breaker, should_stop=should_stop)
     cache = CompileCache()
     stage_cache = StageCache()
+    verdict_cache = VerdictCache()
     try:
-        with use_compile_cache(cache), use_stage_cache(stage_cache):
+        with use_compile_cache(cache), use_stage_cache(stage_cache), \
+                use_verdict_cache(verdict_cache):
             report = _run_experiments(scale, dataset, progress, jobs, on_error, ctx)
         report.cache = cache.stats.as_dict()
         report.pipeline = stage_cache.stats.as_dict()
+        report.sim = {
+            "engine": get_default_sim_engine(),
+            **verdict_cache.stats.as_dict(),
+        }
         report.resume = ctx.stats()
         report.rendered["cache"] = "\n".join(
             f"{key}: {value}" for key, value in report.cache.items()
         )
         report.rendered["pipeline"] = "\n".join(
             f"{key}: {value}" for key, value in report.pipeline.items()
+        )
+        report.rendered["sim"] = "\n".join(
+            f"{key}: {value}" for key, value in report.sim.items()
         )
         report.rendered["resume"] = "\n".join(
             f"{key}: {value}" for key, value in report.resume.items()

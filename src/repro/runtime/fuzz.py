@@ -22,7 +22,14 @@ cross-checks the invariants the rest of the system relies on:
    iterations, so every compile is an "edit" of the previous input)
    produces results bit-identical to the cold ``compile_source`` run,
    in both flavors (:func:`~repro.verilog.pipeline.result_fingerprint`
-   is the equality witness).
+   is the equality witness);
+6. **simulator differential** -- every successfully elaborated input is
+   simulated a few seeded steps (including deliberate all-X stimulus, so
+   the two-state fast path's demotion machinery is exercised) on both
+   the interpreting :class:`~repro.sim.simulator.Simulator` and the
+   compiled :class:`~repro.sim.engine.CompiledSimulator`; per-signal
+   state, memories, ``$display`` logs and raised
+   :class:`~repro.errors.SimulationError` messages must be identical.
 
 Determinism is the backbone: iteration ``i`` of seed ``s`` derives all
 randomness from ``random.Random(f"fuzz|{s}|{i}")``, so a failing
@@ -336,6 +343,83 @@ def _fuzz_one(
     return code, includes, picked
 
 
+#: Steps driven per simulator-differential check; cycle 2 drives all-X
+#: stimulus so mid-run X contamination (and the compiled engine's bail +
+#: reinterpret machinery) is exercised on every checked design.
+_SIM_DIFF_STEPS = 4
+
+
+def _sim_differential(design, limits, rng: Random) -> Optional[str]:
+    """Cross-check interpreted vs compiled simulation of ``design``.
+
+    Returns a failure detail string, or None when both engines agree
+    (including agreeing on any raised :class:`SimulationError`).
+    """
+    from ..errors import SimulationError
+    from ..sim.engine import CompiledSimulator
+    from ..sim.simulator import Simulator
+    from ..sim.values import Logic
+
+    sims = {}
+    errors = {}
+    for name, cls in (("interp", Simulator), ("compiled", CompiledSimulator)):
+        try:
+            sims[name] = cls(design, limits=limits)
+        except SimulationError as exc:
+            errors[name] = str(exc)
+    if errors:
+        if set(errors) != {"interp", "compiled"}:
+            missing = "interp" if "interp" in errors else "compiled"
+            return (
+                f"only {missing} raised at construction: "
+                f"{errors.get('interp') or errors.get('compiled')}"
+            )
+        if errors["interp"] != errors["compiled"]:
+            return (
+                f"construction errors differ: interp={errors['interp']!r} "
+                f"compiled={errors['compiled']!r}"
+            )
+        return None
+    interp, compiled = sims["interp"], sims["compiled"]
+    ports = interp.inputs
+    for cycle in range(_SIM_DIFF_STEPS):
+        stimulus: dict = {}
+        for port in ports:
+            if cycle == 2:
+                stimulus[port.name] = Logic.all_x(port.width)
+            else:
+                stimulus[port.name] = rng.getrandbits(port.width)
+        step_errors = {}
+        for name, sim in (("interp", interp), ("compiled", compiled)):
+            try:
+                sim.step(dict(stimulus))
+            except SimulationError as exc:
+                step_errors[name] = str(exc)
+        if step_errors:
+            if set(step_errors) != {"interp", "compiled"}:
+                missing = "interp" if "interp" in step_errors else "compiled"
+                return f"only {missing} raised at step {cycle}"
+            if step_errors["interp"] != step_errors["compiled"]:
+                return (
+                    f"step {cycle} errors differ: "
+                    f"interp={step_errors['interp']!r} "
+                    f"compiled={step_errors['compiled']!r}"
+                )
+            return None
+        if dict(interp.state.values) != dict(compiled.state.values):
+            diverged = sorted(
+                name
+                for name, value in interp.state.values.items()
+                if compiled.state.values.get(name) != value
+            )
+            return f"state diverged at step {cycle}: {diverged[:4]}"
+        if interp.state.arrays != compiled.state.arrays:
+            return f"memories diverged at step {cycle}"
+        if interp.display_log != compiled.display_log:
+            return f"$display logs diverged at step {cycle}"
+    return None
+
+
 def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
     """Run the fuzzer and return a :class:`FuzzReport`.
 
@@ -433,6 +517,21 @@ def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
                         )
         except BaseException as exc:
             fail("no-exception", f"session path: {type(exc).__name__}: {exc}")
+
+        if iv.ok and iv.elaborated is not None:
+            try:
+                detail = _sim_differential(
+                    iv.elaborated,
+                    config.limits,
+                    Random(f"simdiff|{config.seed}|{iteration}"),
+                )
+                if detail is not None:
+                    fail("simulator-differential", detail)
+            except BaseException as exc:
+                fail(
+                    "no-exception",
+                    f"sim path: {type(exc).__name__}: {exc}",
+                )
 
         verdict = _verdict(iv)
         report.verdicts.append(verdict)

@@ -2,8 +2,25 @@
 
 Used to judge *functional* correctness (the paper's pass@k metric) by
 differential simulation against a reference implementation.
+
+Two engines share one semantics: the interpreting
+:class:`~repro.sim.simulator.Simulator` walks the AST in full 4-state
+logic, and the compiled :class:`~repro.sim.engine.CompiledSimulator`
+runs closure-lowered processes on a two-state fast path with
+per-invocation fallback to the interpreter (see :mod:`repro.sim.compile`).
+:func:`~repro.sim.engine.make_simulator` selects between them; whole
+testbench verdicts are memoized content-addressed in
+:mod:`repro.sim.verdict`.
 """
 
+from .compile import LoweredDesign, Unlowerable, lower_design, lowered_for
+from .engine import (
+    SIM_ENGINES,
+    CompiledSimulator,
+    get_default_sim_engine,
+    make_simulator,
+    set_default_sim_engine,
+)
 from .eval import EvalContext, Evaluator, NetState
 from .exec import StmtExecutor
 from .feedback import SimFeedback, make_sim_feedback, simulate_with_traces
@@ -19,27 +36,54 @@ from .testbench import (
     run_differential,
 )
 from .values import Logic
+from .verdict import (
+    DEFAULT_VERDICT_CACHE,
+    VerdictCache,
+    VerdictStats,
+    get_active_verdict_cache,
+    no_verdict_cache,
+    set_active_verdict_cache,
+    use_verdict_cache,
+    verdict_key,
+)
 
 __all__ = [
     "CLOCK_NAMES",
+    "CompiledSimulator",
+    "DEFAULT_VERDICT_CACHE",
     "EvalContext",
     "Evaluator",
     "Logic",
+    "LoweredDesign",
     "Mismatch",
     "NetState",
     "RESET_NAMES",
+    "SIM_ENGINES",
     "SimFeedback",
     "Simulator",
     "StmtExecutor",
     "TestbenchResult",
     "Trace",
+    "Unlowerable",
     "VcdWriter",
+    "VerdictCache",
+    "VerdictStats",
     "check_interface",
     "dump_comparison_vcd",
     "dump_vcd",
+    "get_active_verdict_cache",
+    "get_default_sim_engine",
+    "lower_design",
+    "lowered_for",
     "make_sim_feedback",
+    "make_simulator",
+    "no_verdict_cache",
     "render_comparison",
     "render_waveform",
     "run_differential",
+    "set_active_verdict_cache",
+    "set_default_sim_engine",
     "simulate_with_traces",
+    "use_verdict_cache",
+    "verdict_key",
 ]

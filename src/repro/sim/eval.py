@@ -4,6 +4,12 @@ An :class:`EvalContext` binds one module *instance* (elaborated module +
 hierarchical name prefix) to the shared :class:`NetState`.  Procedural
 execution adds a ``frame`` of local variables (function arguments,
 block-local integers, SystemVerilog ``for (int i ...)`` variables).
+
+This is the full 4-state (0/1/X/Z) evaluator and the semantic reference
+for the compiled engine: :mod:`repro.sim.compile` lowers the common
+expression shapes into two-state closures that must agree bit-for-bit
+with :class:`Evaluator`, and anything they cannot prove known-valued
+bails back here.
 """
 
 from __future__ import annotations

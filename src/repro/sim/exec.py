@@ -4,6 +4,11 @@ A :class:`StmtExecutor` runs the body of an always/initial block or a
 function.  Blocking assignments update state immediately; nonblocking
 assignments are queued on ``nba`` and applied by the simulator after
 every triggered process has run (standard NBA semantics).
+
+Like :mod:`repro.sim.eval`, this is the 4-state reference semantics:
+:mod:`repro.sim.compile` lowers statement bodies into speculative
+closures and re-runs the original AST through :class:`StmtExecutor`
+whenever a closure bails, so the two paths must stay in lockstep.
 """
 
 from __future__ import annotations

@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from ..verilog.elaborate import ElabDesign
-from .simulator import Simulator
+from ..verilog.limits import ResourceLimits
+from .engine import get_default_sim_engine, make_simulator
 from .testbench import CLOCK_NAMES, RESET_NAMES, _random_vector
 from .trace import Trace, render_comparison
 from .values import Logic
+from .verdict import get_active_verdict_cache, verdict_key
 
 
 @dataclass
@@ -36,10 +39,12 @@ def simulate_with_traces(
     reference: ElabDesign,
     samples: int = 16,
     seed: int = 0,
+    engine: Optional[str] = None,
+    limits: Optional[ResourceLimits] = None,
 ) -> tuple[Trace, Trace]:
     """Run both designs on identical stimulus, tracing every output."""
-    cand_sim = Simulator(candidate)
-    ref_sim = Simulator(reference)
+    cand_sim = make_simulator(candidate, engine=engine, limits=limits)
+    ref_sim = make_simulator(reference, engine=engine, limits=limits)
     rng = random.Random(seed)
 
     inputs = ref_sim.inputs
@@ -80,12 +85,51 @@ def make_sim_feedback(
     samples: int = 16,
     seed: int = 0,
     max_shown: int = 16,
+    engine: Optional[str] = None,
+    limits: Optional[ResourceLimits] = None,
 ) -> SimFeedback:
     """The feedback message described in §5: error count summary plus the
-    waveform-style expected-vs-actual comparison."""
+    waveform-style expected-vs-actual comparison.
+
+    Memoized in the active :class:`~repro.sim.verdict.VerdictCache` the
+    same way :func:`~repro.sim.testbench.run_differential` verdicts are:
+    feedback is a pure function of the design digests and the stimulus
+    parameters."""
+    effective_engine = engine if engine is not None else get_default_sim_engine()
+    cache = get_active_verdict_cache()
+    key = None
+    if cache is not None:
+        key = verdict_key(
+            "feedback",
+            (getattr(candidate, "digest", None), getattr(reference, "digest", None)),
+            effective_engine,
+            limits,
+            samples, seed, max_shown,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    feedback = _make_sim_feedback_uncached(
+        candidate, reference, samples, seed, max_shown, effective_engine, limits
+    )
+    if cache is not None:
+        cache.put(key, feedback)
+    return feedback
+
+
+def _make_sim_feedback_uncached(
+    candidate: ElabDesign,
+    reference: ElabDesign,
+    samples: int,
+    seed: int,
+    max_shown: int,
+    engine: str,
+    limits: Optional[ResourceLimits],
+) -> SimFeedback:
     try:
         cand_trace, ref_trace = simulate_with_traces(
-            candidate, reference, samples=samples, seed=seed
+            candidate, reference, samples=samples, seed=seed,
+            engine=engine, limits=limits,
         )
     except Exception as exc:  # simulation blow-ups are feedback too
         return SimFeedback(

@@ -21,11 +21,10 @@ from dataclasses import dataclass
 from ..errors import SimulationError
 from ..verilog import ast
 from ..verilog.elaborate import ElabDesign, ElabModule, PortInfo
+from ..verilog.limits import DEFAULT_LIMITS, ResourceLimits
 from .eval import EvalContext, Evaluator, NetState
 from .exec import NbaUpdate, StmtExecutor
 from .values import Logic
-
-_SETTLE_LIMIT = 200
 
 
 @dataclass
@@ -55,8 +54,15 @@ class _Connection:
 class Simulator:
     """Simulates the top module of an elaborated design."""
 
-    def __init__(self, design: ElabDesign, top: str | None = None):
+    def __init__(
+        self,
+        design: ElabDesign,
+        top: str | None = None,
+        limits: ResourceLimits | None = None,
+    ):
         self.design = design
+        #: Cooperative budgets; ``max_settle_passes`` bounds delta cycles.
+        self.limits = limits if limits is not None else DEFAULT_LIMITS
         top_name = top or design.top
         if top_name is None or top_name not in design.modules:
             top_module = design.top_module()
@@ -73,9 +79,15 @@ class Simulator:
         self._seq: list[_SeqProcess] = []
         self._initials: list[tuple[EvalContext, ast.InitialBlock]] = []
         self._build(self.top, prefix="", depth=0)
+        self._post_build()
         self._run_initials()
         self.settle()
         self._edge_state = self._sample_edges()
+
+    def _post_build(self) -> None:
+        """Hook for subclasses: runs after the net list is built but
+        before initial blocks execute (the compiled engine swaps in its
+        lowered processes here)."""
 
     # -- construction -----------------------------------------------------
 
@@ -187,13 +199,24 @@ class Simulator:
     # -- execution ---------------------------------------------------------
 
     def settle(self) -> None:
-        """Propagate combinational logic to a fixpoint."""
-        for _ in range(_SETTLE_LIMIT):
+        """Propagate combinational logic to a fixpoint.
+
+        Bounded by the cooperative ``max_settle_passes`` budget from
+        :class:`~repro.verilog.limits.ResourceLimits`; hitting the bound
+        raises :class:`~repro.errors.SimulationError`, which every
+        harness (testbench, feedback, fuzz) degrades into an ordinary
+        failed verdict rather than a crash.
+        """
+        budget = self.limits.max_settle_passes
+        for _ in range(budget):
             before = self.state.snapshot()
             self._comb_pass()
             if self.state.values == before:
                 return
-        raise SimulationError("combinational logic did not settle (loop?)")
+        raise SimulationError(
+            "combinational logic did not settle after "
+            f"{budget} passes (loop? raise max_settle_passes if legitimate)"
+        )
 
     def _comb_pass(self) -> None:
         for ctx, assign in self._assigns:

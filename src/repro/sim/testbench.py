@@ -12,11 +12,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..errors import SimulationError
 from ..verilog.elaborate import ElabDesign
+from ..verilog.limits import ResourceLimits
+from .engine import get_default_sim_engine, make_simulator
 from .simulator import Simulator
 from .values import Logic
+from .verdict import get_active_verdict_cache, verdict_key
 
 CLOCK_NAMES = ("clk", "clock")
 RESET_NAMES = ("reset", "rst", "areset", "arst", "resetn", "rst_n")
@@ -79,19 +83,58 @@ def run_differential(
     samples: int = 64,
     seed: int = 0,
     max_mismatches_recorded: int = 4,
+    engine: Optional[str] = None,
+    limits: Optional[ResourceLimits] = None,
 ) -> TestbenchResult:
     """Drive both designs with identical stimulus and compare outputs.
 
     ``samples`` is the number of random input vectors (combinational) or
-    clock cycles (sequential).
+    clock cycles (sequential).  The whole verdict is memoized in the
+    active :class:`~repro.sim.verdict.VerdictCache` keyed by the design
+    digests and every stimulus parameter -- simulation is deterministic,
+    so a repeated (candidate, reference, stimulus) triple returns the
+    recorded verdict without simulating.
     """
+    effective_engine = engine if engine is not None else get_default_sim_engine()
+    cache = get_active_verdict_cache()
+    key = None
+    if cache is not None:
+        key = verdict_key(
+            "diff",
+            (getattr(candidate, "digest", None), getattr(reference, "digest", None)),
+            effective_engine,
+            limits,
+            samples, seed, max_mismatches_recorded,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+
+    result = _run_differential_uncached(
+        candidate, reference, samples, seed, max_mismatches_recorded,
+        effective_engine, limits,
+    )
+    if cache is not None:
+        cache.put(key, result)
+    return result
+
+
+def _run_differential_uncached(
+    candidate: ElabDesign,
+    reference: ElabDesign,
+    samples: int,
+    seed: int,
+    max_mismatches_recorded: int,
+    engine: str,
+    limits: Optional[ResourceLimits],
+) -> TestbenchResult:
     interface_error = check_interface(candidate, reference)
     if interface_error:
         return TestbenchResult(passed=False, failure_reason=interface_error)
 
     try:
-        cand_sim = Simulator(candidate)
-        ref_sim = Simulator(reference)
+        cand_sim = make_simulator(candidate, engine=engine, limits=limits)
+        ref_sim = make_simulator(reference, engine=engine, limits=limits)
     except SimulationError as exc:
         return TestbenchResult(passed=False, failure_reason=str(exc))
 

@@ -79,6 +79,11 @@ class ElabModule:
 class ElabDesign:
     modules: dict[str, ElabModule] = field(default_factory=dict)
     top: Optional[str] = None
+    #: Content digest of the preprocessed source this design was
+    #: elaborated from; stamped by the diagnostic engine on error-free
+    #: results only.  ``None`` means "identity unknown" and disables
+    #: digest-keyed caching (compiled-simulator stage, verdict cache).
+    digest: Optional[str] = None
 
     def top_module(self) -> Optional[ElabModule]:
         if self.top and self.top in self.modules:

@@ -29,6 +29,11 @@ so the *unchanged prefix* of an edited source is reused:
 * **render** -- assembles the :class:`~repro.diagnostics.compiler.CompileResult`;
   actual log rendering stays lazy (and flavour switching on identical
   source is pure re-rendering: every analysis stage hits).
+* **sim-lower** -- not run by the compile pipeline itself: the compiled
+  simulation engine (:func:`repro.sim.compile.lowered_for`) hangs this
+  sixth stage off **elaborate**'s output, caching each design's lowered
+  closure tables in the active :class:`StageCache` under the design
+  digest stamped by :func:`~repro.diagnostics.engine.DiagnosticEngine`.
 
 Equivalence guarantee
 ---------------------

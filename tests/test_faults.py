@@ -514,6 +514,69 @@ class TestChaosExperimentRun:
             run_fix_experiment(tiny_dataset, fixer, repeats=2, on_error="raise")
 
 
+class TestVerdictChaosTransparency:
+    """Verdict memoization must be invisible to chaos engineering: fault
+    injection perturbs the source text, hence the design digest, hence
+    the verdict key -- garbled and clean designs can never alias."""
+
+    CLEAN = (
+        "module m(input clk, input [3:0] d, output reg [3:0] q);\n"
+        "always @(posedge clk) q <= q ^ d;\nendmodule\n"
+    )
+
+    def test_chaos_garbled_design_cannot_alias_clean_verdicts(self):
+        from repro.sim import verdict_key
+
+        injector = FaultInjector(
+            seed=1, compiler=FaultSpec(rate=1.0, kind="garbage")
+        )
+        chaos = ChaosCompiler(Compiler("quartus"), injector)
+        clean = Compiler("quartus").compile(self.CLEAN)
+        garbled = chaos.compile(self.CLEAN)
+        assert clean.ok and clean.elaborated.digest is not None
+        # Garbage never compiles clean, so the garbled design has no
+        # content digest and its verdicts are uncacheable -- it cannot
+        # hit (or poison) a clean design's cache entry.
+        assert not garbled.ok
+        assert garbled.elaborated is None or garbled.elaborated.digest is None
+        assert verdict_key("diff", (None, None), "compiled", None, 8, 0) is None
+        # And any *textual* perturbation that does compile re-keys: the
+        # digest tracks the preprocessed source.
+        tweaked = Compiler("quartus").compile(self.CLEAN.replace("^", "&"))
+        assert tweaked.ok
+        assert tweaked.elaborated.digest != clean.elaborated.digest
+        clean_key = verdict_key(
+            "diff", (clean.elaborated.digest,) * 2, "compiled", None, 8, 0
+        )
+        tweaked_key = verdict_key(
+            "diff", (tweaked.elaborated.digest,) * 2, "compiled", None, 8, 0
+        )
+        assert None not in (clean_key, tweaked_key)
+        assert clean_key != tweaked_key
+
+    def test_chaos_run_deterministic_with_shared_verdict_cache(self, tiny_dataset):
+        from repro.sim import VerdictCache, no_verdict_cache, use_verdict_cache
+
+        chaos = ChaosRepairModel(
+            SimulatedLLM(),
+            FaultInjector(seed=13, llm=FaultSpec(rate=0.3, kind="exception")),
+        )
+        fixer = RTLFixer(
+            config=RTLFixerConfig(max_retries=0, on_error="collect"), model=chaos
+        )
+        with no_verdict_cache():
+            baseline = run_fix_experiment(tiny_dataset, fixer, repeats=2)
+        cache = VerdictCache()
+        with use_verdict_cache(cache):
+            cold = run_fix_experiment(tiny_dataset, fixer, repeats=2)
+            warm = run_fix_experiment(tiny_dataset, fixer, repeats=2)
+        # Memoized verdicts change nothing observable, faults included.
+        for run in (cold, warm):
+            assert run.failures == baseline.failures
+            assert run.fixed_counts == baseline.fixed_counts
+            assert run.iterations == baseline.iterations
+
+
 def _square(x: int) -> int:
     """Square (top-level so process-pool workers can pickle it)."""
     return x * x

@@ -4,13 +4,23 @@ import pytest
 
 from repro.diagnostics import compile_source
 from repro.errors import SimulationError
-from repro.sim import Simulator
+from repro.sim import Logic, Simulator, make_simulator
 
 
 def build(code: str) -> Simulator:
     result = compile_source(code)
     assert result.ok, result.log
     return Simulator(result.elaborated)
+
+
+def build_pair(code: str) -> tuple[Simulator, Simulator]:
+    """(interp, compiled) simulators over the same elaborated design."""
+    result = compile_source(code)
+    assert result.ok, result.log
+    return (
+        make_simulator(result.elaborated, engine="interp"),
+        make_simulator(result.elaborated, engine="compiled"),
+    )
 
 
 class TestLvalueForms:
@@ -179,3 +189,83 @@ class TestMisc:
         elab = compile_source("module only_one(input a, output y);\nassign y = a;\nendmodule").elaborated
         sim = Simulator(elab, top="missing")
         assert sim.top.name == "only_one"
+
+
+class TestTwoStateDemotion:
+    """X/Z arriving mid-run must demote the compiled fast path for that
+    invocation only -- traces stay bit-identical to the interpreter and
+    the fast path recovers once the values are known again."""
+
+    def _lockstep(self, interp, compiled, stimuli):
+        for stimulus in stimuli:
+            interp.step(dict(stimulus))
+            compiled.step(dict(stimulus))
+            assert dict(compiled.state.values) == dict(interp.state.values)
+
+    def test_x_on_reset_recovers_fast_path(self):
+        # Registers are all-X until the reset pulse: the seq process and
+        # the assign reading q bail (demote) during the X window, then
+        # speculate successfully for the rest of the run.
+        code = (
+            "module m(input clk, input reset, input [3:0] d,\n"
+            "         output reg [3:0] q, output [3:0] y);\n"
+            "assign y = q ^ d;\n"
+            "always @(posedge clk)\n"
+            "  if (reset) q <= 0; else q <= q + d;\n"
+            "endmodule"
+        )
+        interp, compiled = build_pair(code)
+        stimuli = []
+        for cycle in range(12):
+            stimuli.append({"clk": 0, "reset": int(1 <= cycle <= 2),
+                            "d": (cycle * 3) % 16})
+            stimuli.append({"clk": 1})
+        self._lockstep(interp, compiled, stimuli)
+        assert compiled.demotions > 0  # the X window really bailed
+        assert compiled.fast_runs > compiled.demotions  # ...and recovered
+        assert not compiled.get("q").has_x
+
+    def test_x_on_undriven_port_mid_run(self):
+        # A data port going all-X mid-run (undriven for one cycle)
+        # demotes exactly that window, not the rest of the run.
+        code = (
+            "module m(input [7:0] a, input [7:0] b, output [7:0] y);\n"
+            "assign y = a + b;\nendmodule"
+        )
+        interp, compiled = build_pair(code)
+        stimuli = [
+            {"a": 3, "b": 4},
+            {"a": Logic.all_x(8), "b": 5},
+            {"a": 9, "b": 6},
+        ]
+        self._lockstep(interp, compiled, stimuli)
+        before = compiled.demotions
+        assert before > 0
+        assert compiled.get("y").bits == 15
+        compiled.step({"a": 1, "b": 1})
+        interp.step({"a": 1, "b": 1})
+        assert dict(compiled.state.values) == dict(interp.state.values)
+        assert compiled.demotions == before  # fully recovered
+
+    def test_x_through_case_subject(self):
+        # An X case subject must fall back to the interpreter's 4-state
+        # matching (no label matches, default wins there).
+        code = (
+            "module m(input [1:0] sel, input [3:0] d, output reg [3:0] q);\n"
+            "always @(*) begin\n"
+            "  case (sel)\n"
+            "    2'd0: q = d;\n"
+            "    2'd1: q = ~d;\n"
+            "    default: q = 4'h5;\n"
+            "  endcase\n"
+            "end\nendmodule"
+        )
+        interp, compiled = build_pair(code)
+        stimuli = [
+            {"sel": 0, "d": 7},
+            {"sel": Logic.all_x(2), "d": 7},
+            {"sel": 1, "d": 7},
+        ]
+        self._lockstep(interp, compiled, stimuli)
+        assert compiled.demotions > 0
+        assert compiled.get("q").bits == 0x8  # ~7 on the recovered path
