@@ -8,9 +8,11 @@
 #   REPRO_BENCH_PROFILE=paper scripts/bench.sh   # full paper protocol
 #
 # The cold-vs-warm compile-pipeline bench is additionally emitted on its
-# own as BENCH_pipeline.json (override with BENCH_PIPELINE_JSON=), and
-# the simulation-engine benches (compiled vs interp throughput, verdict
-# cache) as BENCH_sim.json (override with BENCH_SIM_JSON=).
+# own as BENCH_pipeline.json (override with BENCH_PIPELINE_JSON=), the
+# simulation-engine benches (compiled vs interp throughput, verdict
+# cache) as BENCH_sim.json (override with BENCH_SIM_JSON=), and the
+# LLM-pool benches (routed vs direct overhead, tokens/trial, hedged
+# tail latency) as BENCH_llm.json (override with BENCH_LLM_JSON=).
 #
 # The chaos (fault-injection) suite and a fuzz smoke run first: perf
 # numbers for a runtime whose failure paths are broken, or a compiler
@@ -65,6 +67,16 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
     -k "sim_" --benchmark-only \
     --benchmark-json "$sim_out"
 echo "simulation benchmark written to $sim_out"
+
+# Dedicated LLM-pool artifact: routed-vs-direct overhead and estimated
+# tokens/cost per trial, plus the hedged-tail-latency drill, so the
+# backend-pool cost axis is tracked on its own across PRs.
+llm_out="${BENCH_LLM_JSON:-BENCH_llm.json}"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
+    python -m pytest benchmarks/test_bench_runtime.py \
+    -k "llm_pool" --benchmark-only \
+    --benchmark-json "$llm_out"
+echo "LLM pool benchmark written to $llm_out"
 
 # The main run goes last: every pytest session rewrites the tracked
 # benchmark_results.txt, so the broadest table set must be the one that

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # One-command CI gate: tier-1 tests, the chaos (fault-injection) suite,
-# a 200-iteration compiler front-end fuzz smoke, the pipeline
+# the pool-chaos drills (outage of each LLM tier: cheap heals via
+# failover, strong trips the breaker, whole-ladder propagates), a
+# 200-iteration compiler front-end fuzz smoke, the pipeline
 # differential (warm CompileSession vs cold compile_source over the full
 # 212-sample dataset, both flavours, bit-identical), the simulator
 # differential (compiled engine vs interpreter over every corpus
@@ -10,7 +12,7 @@
 # every break.
 #
 # Usage:
-#   scripts/ci.sh                # all six stages
+#   scripts/ci.sh                # all seven stages
 #   FUZZ_ITERATIONS=1000 scripts/ci.sh   # deeper fuzz stage
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -24,6 +26,9 @@ python -m pytest -q || status=1
 
 echo "== chaos (fault-injection) suite =="
 python -m pytest tests/test_faults.py -m chaos -q || status=1
+
+echo "== pool chaos (per-tier LLM outages, breaker armed) =="
+python -m pytest tests/test_pool.py -m chaos -q || status=1
 
 echo "== fuzz smoke ($iterations iterations, seed 0) =="
 python -m repro.cli fuzz --seed 0 --iterations "$iterations" || status=1

@@ -121,6 +121,12 @@ class ReActAgent:
             iterations += 1
             code = step.code
             result = self.compiler.compile(code)
+            # Escalation seam: sessions that route across model tiers
+            # (repro.llm.pool) count failed iterations through this
+            # duck-typed signal; plain sessions have no observe().
+            notice = getattr(session, "observe", None)
+            if callable(notice):
+                notice(result.ok)
             transcript.add(
                 thought=step.thought,
                 action="Compiler",

@@ -22,7 +22,20 @@ import argparse
 import sys
 
 
+def _llm_line(ledger: dict, routing_text: str) -> str:
+    """The ``# llm:`` stderr accounting line (fix and report share it)."""
+    return (
+        f"# llm: pool {routing_text}; {ledger['calls']} call(s), "
+        f"{ledger['total_tokens']} tokens (~${ledger['cost_usd']:.4f}); "
+        f"escalations={ledger['escalations']} failovers={ledger['failovers']} "
+        f"hedges={ledger['hedges']} throttled={ledger['throttled']} "
+        f"failures={ledger['failures']}"
+    )
+
+
 def _cmd_fix(args: argparse.Namespace) -> int:
+    import contextlib
+
     from .core import RTLFixer
 
     with open(args.file) as f:
@@ -35,8 +48,24 @@ def _cmd_fix(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_retries=args.max_retries,
         step_timeout=args.step_timeout,
+        llm_pool=args.llm_pool,
+        llm_escalate_after=args.llm_escalate_after,
+        llm_hedge=args.llm_hedge,
     )
-    result = fixer.fix(code)
+    counter = None
+    scope = contextlib.nullcontext()
+    if args.llm_pool:
+        from .runtime import TokenCounter, use_token_counter
+
+        counter = TokenCounter()
+        scope = use_token_counter(counter)
+    with scope:
+        result = fixer.fix(code)
+    if counter is not None:
+        print(
+            _llm_line(counter.as_dict(), fixer.model.routing.describe()),
+            file=sys.stderr,
+        )
     if args.transcript:
         print(result.transcript.render())
         print()
@@ -145,6 +174,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 resume=args.resume,
                 breaker_threshold=args.breaker_threshold,
                 should_stop=shutdown.requested,
+                llm_pool=args.llm_pool,
+                llm_escalate_after=args.llm_escalate_after,
+                llm_hedge=args.llm_hedge,
             )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -188,6 +220,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"runs avoided (hit rate {sim['hit_rate']:.1%})",
         file=sys.stderr,
     )
+    if report.llm:
+        print(_llm_line(report.llm, report.llm["routing"]), file=sys.stderr)
     if args.run_dir:
         print(
             f"# durable run: {report.resume.get('replayed', 0)} trial(s) "
@@ -238,6 +272,31 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _add_llm_pool_args(parser: argparse.ArgumentParser) -> None:
+    """The ``--llm-*`` pool flags, shared by ``fix`` and ``report``."""
+    parser.add_argument(
+        "--llm-pool", metavar="SPEC", default=None,
+        help="route model calls through a backend pool: comma-separated "
+        "name=tier escalation ladder, weakest first (e.g. "
+        "'cheap=gpt-3.5-sim,strong=gpt-4-sim'); *-sim tiers run the "
+        "offline simulated backend, other names the OpenAI API "
+        "(requires OPENAI_API_KEY).  Accounting is printed as a "
+        "'# llm:' line on stderr",
+    )
+    parser.add_argument(
+        "--llm-escalate-after", type=int, default=0, metavar="K",
+        help="climb one pool rung after K failed agent iterations (the "
+        "paper's gpt-3.5 -> gpt-4 axis as a runtime policy; 0 = never "
+        "escalate, outage failover still applies)",
+    )
+    parser.add_argument(
+        "--llm-hedge", type=float, default=0.0, metavar="RATE",
+        help="seeded fraction of pool calls duplicated to the next rung "
+        "for tail latency; the primary's reply is always preferred, so "
+        "results never change (0 disables)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the rtlfixer argument parser."""
     parser = argparse.ArgumentParser(
@@ -267,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-model-call timeout budget; over-budget calls count as "
         "retryable timeouts (default: unlimited)",
     )
+    _add_llm_pool_args(fix)
     fix.set_defaults(func=_cmd_fix)
 
     comp = sub.add_parser("compile", help="compile and show diagnostics")
@@ -335,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(the reference AST-walking 4-state interpreter); both produce "
         "bit-identical verdicts",
     )
+    _add_llm_pool_args(rep)
     rep.set_defaults(func=_cmd_report)
 
     fz = sub.add_parser(

@@ -65,6 +65,27 @@ class RTLFixerConfig:
     #: disables the breaker.  Requires ``on_error="collect"`` to have
     #: any effect (skips are collected records, not exceptions).
     breaker_threshold: int = 0
+    #: LLM backend pool spec (repro.llm.pool.RoutingSpec.parse syntax,
+    #: e.g. "cheap=gpt-3.5-sim,strong=gpt-4-sim"): route every model
+    #: call through an escalation ladder of named backends instead of a
+    #: single direct model.  None = direct model (the default).
+    llm_pool: Optional[str] = None
+    #: Climb one pool rung after this many failed ReAct iterations (the
+    #: paper's gpt-3.5 -> gpt-4 axis as a runtime policy).  0 = never
+    #: escalate; outage-driven failover still applies.  Changes which
+    #: model answers, so (like llm_pool) it is part of the trial-key
+    #: config digest.
+    llm_escalate_after: int = 0
+    #: Seeded probability of hedging a call to the next pool rung for
+    #: tail latency.  The primary's reply is always preferred, so this
+    #: is timing-only (execution knob, excluded from the config digest).
+    llm_hedge: float = 0.0
+    #: Per-backend client-side rate limit in requests/second (0 =
+    #: unlimited).  Timing-only (execution knob).
+    llm_rate: float = 0.0
+    #: Per-backend in-flight call cap (0 = unlimited).  Timing-only
+    #: (execution knob).
+    llm_concurrency: int = 0
 
     def __post_init__(self) -> None:
         if self.prompting not in ("react", "oneshot"):
@@ -98,6 +119,16 @@ class RTLFixerConfig:
             raise ValueError(
                 "breaker_threshold must be >= 0 (0 disables the breaker)"
             )
+        if self.llm_escalate_after < 0:
+            raise ValueError(
+                "llm_escalate_after must be >= 0 (0 disables escalation)"
+            )
+        if not 0.0 <= self.llm_hedge <= 1.0:
+            raise ValueError(f"llm_hedge must be in [0, 1], got {self.llm_hedge}")
+        if self.llm_rate < 0:
+            raise ValueError("llm_rate must be >= 0 (0 = unlimited)")
+        if self.llm_concurrency < 0:
+            raise ValueError("llm_concurrency must be >= 0 (0 = unlimited)")
 
     def label(self) -> str:
         """Human-readable configuration summary for reports."""

@@ -22,6 +22,7 @@ from ..agents.oneshot import OneShotAgent
 from ..agents.react import AgentResult, ReActAgent
 from ..diagnostics import Compiler
 from ..llm.base import RepairModel
+from ..llm.pool import PooledRepairModel, routing_from_config
 from ..llm.simulated import SimulatedLLM
 from ..rag.database import GuidanceDatabase
 from ..rag.guidance_data import build_default_database
@@ -54,9 +55,7 @@ class RTLFixer:
         )
         self.database = database or build_default_database()
         self._injected_model = model
-        self.model: RepairModel = model or SimulatedLLM(
-            tier=config.tier, temperature=config.temperature, seed=config.seed
-        )
+        self.model: RepairModel = model or self._build_model(config)
 
         # Robustness seams: only TransientError faults are ever retried,
         # so wrapping is bit-identical to not wrapping on the happy path.
@@ -92,6 +91,24 @@ class RTLFixer:
                 retriever=self.retriever,
                 apply_rule_fix=config.apply_rule_fix,
             )
+
+    @staticmethod
+    def _build_model(config: RTLFixerConfig) -> RepairModel:
+        """The fixer's own model: pooled when a routing spec is
+        configured (``config.llm_pool`` or the ambient
+        :func:`repro.llm.pool.use_llm_routing` scope), else the direct
+        simulated model."""
+        routing = routing_from_config(config)
+        if routing is not None:
+            return PooledRepairModel(
+                routing,
+                tier=config.tier,
+                temperature=config.temperature,
+                seed=config.seed,
+            )
+        return SimulatedLLM(
+            tier=config.tier, temperature=config.temperature, seed=config.seed
+        )
 
     @property
     def injected_model(self) -> Optional[RepairModel]:

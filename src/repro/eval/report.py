@@ -22,14 +22,17 @@ from typing import Callable, Optional
 from ..dataset.corpus import verilogeval
 from ..dataset.curate import SyntaxDataset, build_syntax_dataset
 from ..dataset.rtllm import rtllm
+from ..llm.pool import RoutingSpec, get_default_llm_routing, use_llm_routing
 from ..runtime import (
     CircuitBreaker,
     CompileCache,
     RunContext,
     RunState,
     StageCache,
+    TokenCounter,
     use_compile_cache,
     use_stage_cache,
+    use_token_counter,
 )
 from ..sim.engine import get_default_sim_engine
 from ..sim.verdict import VerdictCache, use_verdict_cache
@@ -96,6 +99,13 @@ class FullReport:
     #: verdict-cache counters (hits = whole testbench runs skipped).
     #: Runtime telemetry -- excluded from ``to_json`` like the rest.
     sim: dict = field(default_factory=dict)
+    #: LLM pool telemetry (routing description plus the run's
+    #: TokenCounter ledger: per-backend tokens, cost, throttles,
+    #: hedges, failovers, escalations).  Populated only when the run
+    #: was routed through a pool.  Runtime telemetry -- excluded from
+    #: ``to_json``, so a pooled run over simulated tiers produces a
+    #: report byte-identical to the direct run.
+    llm: dict = field(default_factory=dict)
     rendered: dict = field(default_factory=dict)
 
     @property
@@ -134,20 +144,27 @@ class FullReport:
         sections = ["# Reproduction report\n"]
         for name in ("table1", "table2", "table3", "figure4", "figure7",
                      "figure6", "simfix", "cache", "pipeline", "sim",
-                     "resume", "breaker", "failures"):
+                     "llm", "resume", "breaker", "failures"):
             if name in self.rendered:
                 sections.append(f"## {name}\n\n```\n{self.rendered[name]}\n```\n")
         return "\n".join(sections)
 
 
-def report_manifest(scale: ReportScale) -> dict:
+def report_manifest(scale: ReportScale, llm: Optional[dict] = None) -> dict:
     """The checkpoint manifest pinning a full-report run's identity.
 
-    Only result-relevant parameters participate (the scale); execution
-    knobs (``jobs``, ``on_error``, breaker threshold) are free to change
-    between a run and its resume.
+    Only result-relevant parameters participate: the scale, plus -- when
+    the run routes through an LLM pool -- the pool spec and escalation
+    policy (they can change which model answers, so a pooled run must
+    not resume a direct run's journal).  Execution knobs (``jobs``,
+    ``on_error``, breaker threshold, hedging/limiter settings) are free
+    to change between a run and its resume; omitting the ``llm`` key
+    when no pool is configured keeps old manifests valid.
     """
-    return {"kind": "full_report", "scale": vars(scale)}
+    manifest = {"kind": "full_report", "scale": vars(scale)}
+    if llm:
+        manifest["llm"] = llm
+    return manifest
 
 
 def run_full_report(
@@ -160,6 +177,9 @@ def run_full_report(
     resume: bool = False,
     breaker_threshold: int = 0,
     should_stop: Optional[Callable[[], bool]] = None,
+    llm_pool: Optional[str] = None,
+    llm_escalate_after: int = 0,
+    llm_hedge: float = 0.0,
 ) -> FullReport:
     """Run every experiment and collect a paper-vs-measured report.
 
@@ -180,6 +200,16 @@ def run_full_report(
     (requires ``on_error="collect"``); ``should_stop`` is polled between
     dispatches for graceful shutdown and raises
     :class:`~repro.errors.RunInterrupted` once in-flight work drains.
+
+    ``llm_pool`` routes every model call through a backend pool
+    (:mod:`repro.llm.pool`): the spec string is an escalation ladder
+    (e.g. ``"cheap=gpt-3.5-sim,strong=gpt-4-sim"``),
+    ``llm_escalate_after`` climbs a rung after that many failed agent
+    iterations, and ``llm_hedge`` duplicates a seeded fraction of calls
+    to the next rung for tail latency.  Token/cost accounting for the
+    whole run lands in ``report.llm``; a pool of simulated tiers with
+    escalation disabled produces a report byte-identical to the direct
+    run.
     """
     scale = scale or ReportScale()
     if breaker_threshold > 0 and on_error != "collect":
@@ -188,17 +218,37 @@ def run_full_report(
             "trials are collected records, not exceptions)"
         )
     breaker = CircuitBreaker(breaker_threshold) if breaker_threshold > 0 else None
+    routing: Optional[RoutingSpec] = None
+    if llm_pool:
+        routing = RoutingSpec.parse(
+            llm_pool, escalate_after=llm_escalate_after, hedge_rate=llm_hedge
+        )
+    else:
+        # Respect a caller-scoped use_llm_routing(...) ambient spec
+        # (how offline suites inject chaos-wrapped pools).
+        routing = get_default_llm_routing()
+    llm_manifest: Optional[dict] = None
+    if routing is not None:
+        # Only the result-relevant routing bits: the ladder and the
+        # escalation policy.  Hedging and limiter settings are timing-
+        # only and may change between a run and its resume.
+        llm_manifest = {
+            "pool": ",".join(f"{m.name}={m.tier}" for m in routing.members),
+            "escalate_after": routing.escalate_after,
+        }
     state: Optional[RunState] = None
     if run_dir is not None:
         state = RunState(run_dir)
-        state.ensure_manifest(report_manifest(scale), resume=resume)
+        state.ensure_manifest(report_manifest(scale, llm=llm_manifest), resume=resume)
     ctx = RunContext(state=state, breaker=breaker, should_stop=should_stop)
     cache = CompileCache()
     stage_cache = StageCache()
     verdict_cache = VerdictCache()
+    llm_counter = TokenCounter()
     try:
         with use_compile_cache(cache), use_stage_cache(stage_cache), \
-                use_verdict_cache(verdict_cache):
+                use_verdict_cache(verdict_cache), use_llm_routing(routing), \
+                use_token_counter(llm_counter):
             report = _run_experiments(scale, dataset, progress, jobs, on_error, ctx)
         report.cache = cache.stats.as_dict()
         report.pipeline = stage_cache.stats.as_dict()
@@ -216,6 +266,21 @@ def run_full_report(
         report.rendered["sim"] = "\n".join(
             f"{key}: {value}" for key, value in report.sim.items()
         )
+        if routing is not None:
+            ledger = llm_counter.as_dict()
+            report.llm = {"routing": routing.describe(), **ledger}
+            llm_lines = [f"routing: {routing.describe()}"]
+            for backend, usage in ledger["backends"].items():
+                llm_lines.append(
+                    f"{backend}: "
+                    + ", ".join(f"{key}={value}" for key, value in usage.items())
+                )
+            llm_lines.extend(
+                f"{key}: {value}"
+                for key, value in ledger.items()
+                if key != "backends"
+            )
+            report.rendered["llm"] = "\n".join(llm_lines)
         report.rendered["resume"] = "\n".join(
             f"{key}: {value}" for key, value in report.resume.items()
         )

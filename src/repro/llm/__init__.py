@@ -9,6 +9,18 @@ from .openai_stub import (
     build_repair_messages,
     parse_repair_reply,
 )
+from .backends import OpenAIChatClient, SimulatedChatClient
+from .pool import (
+    BackendSpec,
+    LLMPool,
+    PooledRepairModel,
+    PooledRepairSession,
+    RoutingSpec,
+    get_default_llm_routing,
+    routing_from_config,
+    set_default_llm_routing,
+    use_llm_routing,
+)
 from .repair.diagnosis import ParsedError, detect_flavor, parse_feedback
 from .repair.logic_strategies import enumerate_logic_edits
 from .repair.strategies import STRATEGIES, apply_strategy, declared_names
@@ -16,9 +28,20 @@ from .simfix import LOGIC_CAPABILITY, SimulatedLogicDebugger
 from .simulated import CAPABILITY, CATEGORY_DELTA, ROUND_SUCCESS, SimulatedLLM
 
 __all__ = [
+    "BackendSpec",
     "CAPABILITY",
     "CATEGORY_DELTA",
     "ChatMessage",
+    "LLMPool",
+    "OpenAIChatClient",
+    "PooledRepairModel",
+    "PooledRepairSession",
+    "RoutingSpec",
+    "SimulatedChatClient",
+    "get_default_llm_routing",
+    "routing_from_config",
+    "set_default_llm_routing",
+    "use_llm_routing",
     "LLMClient",
     "LOGIC_CAPABILITY",
     "SimulatedLogicDebugger",

@@ -1,0 +1,612 @@
+"""Multi-provider LLM backend pool with tier-aware routing (§ design:
+the paper's gpt-3.5 → gpt-4 capability axis as a *runtime policy*).
+
+The pool puts N configured chat backends behind the single
+:class:`~repro.llm.base.RepairModel` surface the agents already use:
+
+* **members** -- an ordered escalation ladder of named backends
+  (:class:`BackendSpec`), weakest/cheapest first.  Each member is a raw
+  :class:`~repro.llm.base.LLMClient` (simulated or OpenAI, see
+  :mod:`repro.llm.backends`) wrapped by the existing runtime layers --
+  optional :class:`~repro.runtime.faults.ChaosLLMClient` (offline outage
+  testing) under a :class:`~repro.runtime.retry.RetryingLLMClient` --
+  plus a deterministic :class:`~repro.runtime.limiter.TokenBucket` rate
+  limiter and a :class:`~repro.runtime.limiter.ConcurrencyGate`;
+* **routing** -- a session starts on the member matching the requested
+  tier and *escalates* one rung after every ``escalate_after`` failed
+  ReAct iterations (the agent reports outcomes through the duck-typed
+  ``session.observe(ok)`` seam), reproducing the paper's "move the hard
+  residue to the stronger model" axis at run time;
+* **failover** -- a member whose retry budget exhausts hands the call to
+  the next stronger member, so a provider outage degrades into extra
+  cost instead of a failed run;
+* **hedging** -- a seeded coin (pure function of ``(seed, call key)``,
+  never of timing) duplicates a call to the next member concurrently;
+  the primary's reply is always preferred, so hedging changes *latency*
+  (the failover rung is already warm when the primary dies), never
+  results;
+* **accounting** -- every call books estimated tokens / cost / waits
+  into the process-active :class:`~repro.runtime.accounting.TokenCounter`
+  (surfaced as ``report.llm`` and the ``# llm:`` CLI line).
+
+Determinism contract: which member answers and what it replies are pure
+functions of ``(routing spec, seed, conversation content, observed
+failures)``; the limiter and gate shape timing only.  A pooled run over
+simulated members is therefore bit-identical to the direct
+:class:`~repro.llm.SimulatedLLM` path at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from ..errors import LLMError, RetryExhaustedError, TransientError
+from ..rag.database import GuidanceEntry
+from ..runtime.accounting import (
+    TokenCounter,
+    estimate_tokens,
+    get_active_token_counter,
+)
+from ..runtime.faults import ChaosLLMClient, FaultInjector, FaultSpec
+from ..runtime.limiter import ConcurrencyGate, TokenBucket
+from ..runtime.retry import RetryingLLMClient, RetryPolicy, messages_key
+from .base import ChatMessage, RepairStep
+from .backends.openai import OpenAIChatClient
+from .backends.simulated import (
+    SimulatedChatClient,
+    build_pool_messages,
+    parse_pool_reply,
+)
+
+SleepFn = Callable[[float], None]
+ClockFn = Callable[[], float]
+
+#: Per-1K-token (prompt, completion) USD prices by tier family --
+#: the public OpenAI prices contemporary with the paper, which is what
+#: makes simulated cost accounting comparable across tiers.
+TIER_PRICES: dict[str, tuple[float, float]] = {
+    "gpt-3.5": (0.0005, 0.0015),
+    "gpt-4": (0.03, 0.06),
+}
+
+
+def _tier_family(tier: str) -> str:
+    return "gpt-4" if tier.startswith("gpt-4") else "gpt-3.5"
+
+
+def _stable_unit(key: str) -> float:
+    """Deterministic uniform(0,1) draw from a string key."""
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One configured pool member: a display name plus its model tier.
+
+    Simulated tiers (``*-sim``) resolve to
+    :class:`~repro.llm.backends.SimulatedChatClient`; anything else is
+    treated as a real OpenAI-compatible model name.
+    """
+
+    name: str
+    tier: str
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c in self.name for c in ",=|\n "):
+            raise LLMError(f"invalid backend name {self.name!r}")
+        if not self.tier or any(c in self.tier for c in ",=|\n "):
+            raise LLMError(f"invalid backend tier {self.tier!r}")
+
+    @property
+    def prices(self) -> tuple[float, float]:
+        return TIER_PRICES[_tier_family(self.tier)]
+
+
+@dataclass(frozen=True)
+class RoutingSpec:
+    """The full pool configuration: members + policy knobs.
+
+    ``members`` is the escalation ladder, weakest first.  ``chaos`` is
+    a test-only knob mapping member names to
+    :class:`~repro.runtime.faults.FaultSpec`, so offline suites can
+    declare "the cheap tier is down" for pools built deep inside
+    ``RTLFixer`` (via :func:`use_llm_routing`).
+    """
+
+    members: tuple[BackendSpec, ...]
+    #: Escalate one ladder rung after this many failed agent iterations
+    #: (0 = never escalate; failover on outage still applies).
+    escalate_after: int = 0
+    #: Probability (seeded, per call) of duplicating a request to the
+    #: next rung for tail latency.  0 disables hedging.
+    hedge_rate: float = 0.0
+    #: Per-member token-bucket refill in requests/second (0 = unlimited).
+    rate: float = 0.0
+    #: Per-member in-flight call cap (0 = unlimited).
+    concurrency: int = 0
+    #: Retry budget of each member's RetryingLLMClient wrapper.
+    max_retries: int = 2
+    #: name -> FaultSpec chaos injection per member (offline testing).
+    chaos: Optional[dict] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise LLMError("a pool needs at least one backend")
+        names = [m.name for m in self.members]
+        if len(set(names)) != len(names):
+            raise LLMError(f"duplicate backend names in pool: {names}")
+        if self.escalate_after < 0:
+            raise LLMError("escalate_after must be >= 0 (0 = never)")
+        if not 0.0 <= self.hedge_rate <= 1.0:
+            raise LLMError(f"hedge_rate must be in [0, 1], got {self.hedge_rate}")
+        if self.rate < 0:
+            raise LLMError("rate must be >= 0 (0 = unlimited)")
+        if self.concurrency < 0:
+            raise LLMError("concurrency must be >= 0 (0 = unlimited)")
+        if self.max_retries < 0:
+            raise LLMError("max_retries must be >= 0")
+
+    @staticmethod
+    def parse(
+        spec: str,
+        *,
+        escalate_after: int = 0,
+        hedge_rate: float = 0.0,
+        rate: float = 0.0,
+        concurrency: int = 0,
+        max_retries: int = 2,
+    ) -> "RoutingSpec":
+        """Parse the CLI/config pool string.
+
+        Format: comma-separated ``name=tier`` members, weakest first,
+        e.g. ``cheap=gpt-3.5-sim,strong=gpt-4-sim``; a bare ``tier``
+        names the member after itself.
+        """
+        members = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" in part:
+                name, _, tier = part.partition("=")
+                members.append(BackendSpec(name=name.strip(), tier=tier.strip()))
+            else:
+                members.append(BackendSpec(name=part, tier=part))
+        return RoutingSpec(
+            members=tuple(members),
+            escalate_after=escalate_after,
+            hedge_rate=hedge_rate,
+            rate=rate,
+            concurrency=concurrency,
+            max_retries=max_retries,
+        )
+
+    def describe(self) -> str:
+        """One-line summary for logs and the ``# llm:`` CLI line."""
+        ladder = " -> ".join(f"{m.name}={m.tier}" for m in self.members)
+        extras = []
+        if self.escalate_after:
+            extras.append(f"escalate_after={self.escalate_after}")
+        if self.hedge_rate:
+            extras.append(f"hedge={self.hedge_rate:g}")
+        if self.rate:
+            extras.append(f"rate={self.rate:g}/s")
+        if self.concurrency:
+            extras.append(f"concurrency={self.concurrency}")
+        return ladder + (f" ({', '.join(extras)})" if extras else "")
+
+
+def _make_raw_client(spec: BackendSpec, seed: int):
+    if spec.tier.endswith("-sim"):
+        return SimulatedChatClient(tier=spec.tier, seed=seed)
+    return OpenAIChatClient(model=spec.tier)
+
+
+class PoolMember:
+    """One runtime rung of the ladder: wrapped client + limiter + gate."""
+
+    def __init__(
+        self,
+        spec: BackendSpec,
+        routing: RoutingSpec,
+        seed: int,
+        clock: ClockFn,
+        sleep: SleepFn,
+        raw_client=None,
+    ):
+        self.spec = spec
+        self.raw = raw_client if raw_client is not None else _make_raw_client(
+            spec, seed
+        )
+        client = self.raw
+        self.injector: Optional[FaultInjector] = None
+        chaos: Optional[FaultSpec] = (routing.chaos or {}).get(spec.name)
+        if chaos is not None:
+            self.injector = FaultInjector(seed=seed, client=chaos)
+            client = ChaosLLMClient(client, self.injector)
+        if routing.max_retries > 0:
+            client = RetryingLLMClient(
+                client,
+                RetryPolicy(max_retries=routing.max_retries, seed=seed),
+                sleep=sleep,
+                clock=clock,
+            )
+        self.client = client
+        self.limiter = TokenBucket(
+            routing.rate, burst=max(1, routing.concurrency or 1),
+            clock=clock, sleep=sleep,
+        )
+        self.gate = ConcurrencyGate(routing.concurrency)
+
+    def cost(self, prompt_tokens: int, completion_tokens: int) -> float:
+        prompt_price, completion_price = self.spec.prices
+        return (
+            prompt_tokens / 1000.0 * prompt_price
+            + completion_tokens / 1000.0 * completion_price
+        )
+
+
+class _HedgeCall:
+    """A concurrently pre-launched duplicate on the next ladder rung.
+
+    Always joined before the pooled call returns, so token accounting is
+    deterministic; its reply is consumed only when the primary fails.
+    """
+
+    def __init__(self, pool: "LLMPool", index: int,
+                 messages: list[ChatMessage], temperature: float,
+                 counter: TokenCounter):
+        self.index = index
+        self.reply: Optional[str] = None
+        self.error: Optional[Exception] = None
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(pool, messages, temperature, counter),
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self, pool, messages, temperature, counter) -> None:
+        try:
+            self.reply = pool._call_member(
+                self.index, messages, temperature, counter, hedge=True
+            )
+        except (TransientError, RetryExhaustedError, LLMError) as exc:
+            self.error = exc
+
+    def join(self) -> Optional[str]:
+        self._thread.join()
+        return self.reply
+
+
+class LLMPool:
+    """The runtime pool: the ladder plus the routed call path."""
+
+    def __init__(
+        self,
+        routing: RoutingSpec,
+        seed: int = 0,
+        clock: ClockFn = time.monotonic,
+        sleep: SleepFn = time.sleep,
+        clients: Optional[dict] = None,
+    ):
+        """``clients`` maps member names to caller-supplied raw clients
+        (bench/test injection); unnamed members get the default adapter
+        for their tier."""
+        self.routing = routing
+        self.seed = seed
+        self.members = [
+            PoolMember(
+                spec, routing, seed, clock, sleep,
+                raw_client=(clients or {}).get(spec.name),
+            )
+            for spec in routing.members
+        ]
+
+    def base_index(self, tier: str) -> int:
+        """The ladder rung a session of ``tier`` starts on: the first
+        member of that exact tier, else of the same family, else 0."""
+        for i, member in enumerate(self.members):
+            if member.spec.tier == tier:
+                return i
+        family = _tier_family(tier)
+        for i, member in enumerate(self.members):
+            if _tier_family(member.spec.tier) == family:
+                return i
+        return 0
+
+    def _call_member(
+        self,
+        index: int,
+        messages: list[ChatMessage],
+        temperature: float,
+        counter: TokenCounter,
+        *,
+        escalated: bool = False,
+        failover: bool = False,
+        hedge: bool = False,
+    ) -> str:
+        member = self.members[index]
+        name = member.spec.name
+        waited = member.limiter.acquire()
+        counter.record_throttle(name, waited)
+        if hedge:
+            counter.record_hedge(name)
+        try:
+            with member.gate:
+                reply = member.client.complete(messages, temperature=temperature)
+        except (TransientError, RetryExhaustedError, LLMError):
+            counter.record_failure(name)
+            raise
+        prompt_tokens = sum(estimate_tokens(m.content) for m in messages)
+        completion_tokens = estimate_tokens(reply)
+        counter.record_call(
+            name,
+            prompt_tokens,
+            completion_tokens,
+            member.cost(prompt_tokens, completion_tokens),
+            failover=failover,
+            escalated=escalated,
+        )
+        return reply
+
+    def call(
+        self,
+        messages: list[ChatMessage],
+        temperature: float,
+        *,
+        call_key: str,
+        index: int,
+        base_index: int = 0,
+    ) -> str:
+        """One routed completion: hedging, then failover up the ladder.
+
+        ``index`` is the escalation-chosen starting rung; on failure the
+        call walks strictly upward (weaker members cannot answer for
+        stronger ones).  Raises the last member's error when the whole
+        ladder is down.
+        """
+        counter = get_active_token_counter()
+        hedge: Optional[_HedgeCall] = None
+        hedge_index = index + 1
+        if (
+            self.routing.hedge_rate > 0.0
+            and hedge_index < len(self.members)
+            and _stable_unit(f"hedge|{self.seed}|{call_key}")
+            < self.routing.hedge_rate
+        ):
+            hedge = _HedgeCall(self, hedge_index, messages, temperature, counter)
+            hedge.start()
+        try:
+            last_error: Optional[Exception] = None
+            for i in range(index, len(self.members)):
+                if hedge is not None and i == hedge_index:
+                    reply = hedge.join()
+                    if reply is not None:
+                        counter.record_hedge_win(self.members[i].spec.name)
+                        return reply
+                    last_error = hedge.error or last_error
+                    continue  # the duplicate already failed this rung
+                try:
+                    return self._call_member(
+                        i, messages, temperature, counter,
+                        escalated=(i == index and index > base_index),
+                        failover=(i > index),
+                    )
+                except (TransientError, RetryExhaustedError, LLMError) as exc:
+                    last_error = exc
+            raise last_error if last_error is not None else LLMError(
+                "empty pool ladder"
+            )
+        finally:
+            if hedge is not None:
+                hedge.join()  # deterministic accounting: idempotent join
+
+
+class PooledRepairModel:
+    """:class:`~repro.llm.base.RepairModel` facade over an
+    :class:`LLMPool` -- what ``RTLFixer`` builds when a pool is
+    configured, in place of a bare :class:`~repro.llm.SimulatedLLM`."""
+
+    def __init__(
+        self,
+        routing: RoutingSpec,
+        tier: str = "gpt-3.5-sim",
+        temperature: float = 0.4,
+        seed: int = 0,
+        clock: ClockFn = time.monotonic,
+        sleep: SleepFn = time.sleep,
+        clients: Optional[dict] = None,
+    ):
+        self.routing = routing
+        self.tier = tier
+        self.temperature = temperature
+        self.seed = seed
+        self._clock = clock
+        self._sleep = sleep
+        self._clients = clients
+        self.pool = LLMPool(
+            routing, seed=seed, clock=clock, sleep=sleep, clients=clients
+        )
+        self._starts = 0
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        # The pool is an implementation detail (like the Retrying*
+        # wrappers): reports see the requested tier, so pooled and
+        # direct runs label identically.
+        return self.tier
+
+    def with_seed(self, seed: int) -> "PooledRepairModel":
+        clients = self._clients
+        if clients is not None:
+            reseeded = {}
+            for key, client in clients.items():
+                reseed = getattr(client, "with_seed", None)
+                reseeded[key] = reseed(seed) if callable(reseed) else client
+            clients = reseeded
+        return PooledRepairModel(
+            self.routing, tier=self.tier, temperature=self.temperature,
+            seed=seed, clock=self._clock, sleep=self._sleep, clients=clients,
+        )
+
+    def start(self, code: str, flavor: str, use_rag: bool) -> "PooledRepairSession":
+        with self._lock:
+            self._starts += 1
+            ordinal = self._starts
+        return PooledRepairSession(self, code, flavor, use_rag, ordinal)
+
+    def __getstate__(self) -> dict:
+        # Rebuildable from config: live sessions, locks and injected
+        # clients stay behind (process workers rebuild from RTLFixer
+        # config anyway; injected clients must be re-injected there).
+        return {
+            "routing": self.routing,
+            "tier": self.tier,
+            "temperature": self.temperature,
+            "seed": self.seed,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["routing"],
+            tier=state["tier"],
+            temperature=state["temperature"],
+            seed=state["seed"],
+        )
+
+
+class PooledRepairSession:
+    """One debugging conversation routed through the pool.
+
+    Holds the escalation state: the agent reports every iteration's
+    compile outcome via :meth:`observe`, and after each block of
+    ``escalate_after`` failures the session climbs one ladder rung.
+    """
+
+    def __init__(self, model: PooledRepairModel, code: str, flavor: str,
+                 use_rag: bool, ordinal: int):
+        self.pool = model.pool
+        self.routing = model.routing
+        self.temperature = model.temperature
+        self.seed = model.seed
+        self.flavor = flavor
+        self.use_rag = use_rag
+        self.base = self.pool.base_index(model.tier)
+        self.failed_rounds = 0
+        # The token ties this conversation's turns together across raw
+        # complete() calls; the start ordinal keeps two conversations
+        # about the same code distinct (a fresh session per start, like
+        # the direct path).
+        self.token = (
+            f"{model.seed}.{ordinal}.{model.tier}."
+            f"{flavor}.{int(use_rag)}.{_digest(code)}"
+        )
+
+    def observe(self, success: bool) -> None:
+        """The agent's per-iteration outcome (escalation signal)."""
+        if not success:
+            self.failed_rounds += 1
+
+    @property
+    def member_index(self) -> int:
+        """The ladder rung the next step will start on."""
+        if self.routing.escalate_after <= 0:
+            return self.base
+        climb = self.failed_rounds // self.routing.escalate_after
+        return min(self.base + climb, len(self.pool.members) - 1)
+
+    def step(self, code: str, feedback: str,
+             guidance: list[GuidanceEntry]) -> RepairStep:
+        messages = build_pool_messages(
+            code, feedback, guidance,
+            session=self.token, flavor=self.flavor, use_rag=self.use_rag,
+        )
+        reply = self.pool.call(
+            messages,
+            self.temperature,
+            call_key=messages_key(messages, self.temperature),
+            index=self.member_index,
+            base_index=self.base,
+        )
+        return parse_pool_reply(reply, guidance)
+
+
+# -- process-global routing injection ---------------------------------------
+# Same shape as use_compile_cache / use_token_counter: tests and
+# experiment drivers install a RoutingSpec here and every RTLFixer built
+# inside the scope (including in forked process workers) routes its
+# model through a pool -- no plumbing through call signatures.
+
+_active_routing: Optional[RoutingSpec] = None
+_routing_lock = threading.Lock()
+
+
+def get_default_llm_routing() -> Optional[RoutingSpec]:
+    """The ambient routing spec, or ``None`` (direct models)."""
+    return _active_routing
+
+
+def set_default_llm_routing(
+    routing: Optional[RoutingSpec],
+) -> Optional[RoutingSpec]:
+    """Install ``routing`` as the ambient spec; returns the previous."""
+    global _active_routing
+    with _routing_lock:
+        previous = _active_routing
+        _active_routing = routing
+    return previous
+
+
+@contextmanager
+def use_llm_routing(routing: Optional[RoutingSpec]) -> Iterator[Optional[RoutingSpec]]:
+    """Scope an ambient routing spec for a ``with`` block."""
+    previous = set_default_llm_routing(routing)
+    try:
+        yield routing
+    finally:
+        set_default_llm_routing(previous)
+
+
+def routing_from_config(config) -> Optional[RoutingSpec]:
+    """The routing an :class:`~repro.core.RTLFixer` should use:
+    ``config.llm_pool`` (with the config's policy knobs) when set,
+    else the ambient :func:`get_default_llm_routing` spec."""
+    if getattr(config, "llm_pool", None):
+        return RoutingSpec.parse(
+            config.llm_pool,
+            escalate_after=config.llm_escalate_after,
+            hedge_rate=config.llm_hedge,
+            rate=config.llm_rate,
+            concurrency=config.llm_concurrency,
+            max_retries=config.max_retries,
+        )
+    return get_default_llm_routing()
+
+
+__all__ = [
+    "BackendSpec",
+    "LLMPool",
+    "PoolMember",
+    "PooledRepairModel",
+    "PooledRepairSession",
+    "RoutingSpec",
+    "TIER_PRICES",
+    "get_default_llm_routing",
+    "routing_from_config",
+    "set_default_llm_routing",
+    "use_llm_routing",
+]

@@ -104,10 +104,33 @@ from .retry import (
     RetryingRepairModel,
     RetryPolicy,
     call_with_retry,
+    guidance_key,
+    messages_key,
 )
+from .accounting import (
+    DEFAULT_TOKEN_COUNTER,
+    BackendUsage,
+    TokenCounter,
+    estimate_tokens,
+    get_active_token_counter,
+    set_active_token_counter,
+    use_token_counter,
+)
+from .limiter import ConcurrencyGate, TokenBucket
 
 __all__ = [
+    "BackendUsage",
     "CacheStats",
+    "ConcurrencyGate",
+    "DEFAULT_TOKEN_COUNTER",
+    "TokenBucket",
+    "TokenCounter",
+    "estimate_tokens",
+    "get_active_token_counter",
+    "guidance_key",
+    "messages_key",
+    "set_active_token_counter",
+    "use_token_counter",
     "ChaosCompiler",
     "CompileSession",
     "PipelineStats",

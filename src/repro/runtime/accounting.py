@@ -1,0 +1,221 @@
+"""Per-backend LLM token and cost accounting.
+
+The paper reports its results along a cost axis (gpt-3.5 vs gpt-4);
+a production deployment needs the same axis live: how many tokens each
+backend consumed, what they cost, and how often the pool throttled,
+hedged, failed over or escalated.  This module is the ledger:
+
+* :class:`BackendUsage` -- one backend's counters;
+* :class:`TokenCounter` -- thread-safe roll-up across backends, with a
+  process-wide *active* instance (the :func:`use_token_counter` /
+  :func:`set_active_token_counter` injection point, same shape as the
+  compile cache's) so every pool built anywhere in a run reports into
+  one ledger that lands in ``report.llm`` and the ``# llm:`` CLI line.
+
+Token counts are a deterministic estimate (``ceil(len/4)``, the usual
+chars-per-token rule of thumb) so offline simulated backends produce
+stable, comparable numbers; an API-backed adapter that learns exact
+usage from the provider response can record those instead.
+
+Like the compile cache's counters, the ledger is per process: process-
+pool workers inherit the active counter at fork but record into their
+own copies, so under process parallelism the parent's ledger reflects
+only parent-side calls.  Serial and thread runs account exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+def estimate_tokens(text: str) -> int:
+    """Deterministic token estimate for accounting (~4 chars/token)."""
+    if not text:
+        return 0
+    return (len(text) + 3) // 4
+
+
+@dataclass
+class BackendUsage:
+    """Counters for one pool backend."""
+
+    calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    cost_usd: float = 0.0
+    #: throttle accounting: how often the limiter imposed a wait, and
+    #: the total seconds of imposed wait.
+    throttled: int = 0
+    wait_seconds: float = 0.0
+    #: calls duplicated to the next backend for tail latency.
+    hedges: int = 0
+    #: hedged calls whose duplicate actually supplied the reply.
+    hedge_wins: int = 0
+    #: calls answered by this backend after a weaker one failed.
+    failovers: int = 0
+    #: calls routed here by the tier-escalation policy.
+    escalations: int = 0
+    #: calls this backend failed (its retry budget exhausted).
+    failures: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def as_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "total_tokens": self.total_tokens,
+            "cost_usd": round(self.cost_usd, 6),
+            "throttled": self.throttled,
+            "wait_seconds": round(self.wait_seconds, 4),
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "failovers": self.failovers,
+            "escalations": self.escalations,
+            "failures": self.failures,
+        }
+
+
+@dataclass
+class TokenCounter:
+    """Thread-safe per-backend usage ledger for one run."""
+
+    backends: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def usage(self, backend: str) -> BackendUsage:
+        with self._lock:
+            if backend not in self.backends:
+                self.backends[backend] = BackendUsage()
+            return self.backends[backend]
+
+    def record_call(
+        self,
+        backend: str,
+        prompt_tokens: int,
+        completion_tokens: int,
+        cost_usd: float,
+        *,
+        failover: bool = False,
+        escalated: bool = False,
+        hedge_win: bool = False,
+    ) -> None:
+        """Account one completed call against ``backend``."""
+        usage = self.usage(backend)
+        with self._lock:
+            usage.calls += 1
+            usage.prompt_tokens += prompt_tokens
+            usage.completion_tokens += completion_tokens
+            usage.cost_usd += cost_usd
+            usage.failovers += int(failover)
+            usage.escalations += int(escalated)
+            usage.hedge_wins += int(hedge_win)
+
+    def record_throttle(self, backend: str, wait_seconds: float) -> None:
+        usage = self.usage(backend)
+        with self._lock:
+            if wait_seconds > 0.0:
+                usage.throttled += 1
+                usage.wait_seconds += wait_seconds
+
+    def record_hedge(self, backend: str) -> None:
+        usage = self.usage(backend)
+        with self._lock:
+            usage.hedges += 1
+
+    def record_hedge_win(self, backend: str) -> None:
+        """A hedged duplicate's reply was actually consumed (counted
+        separately from :meth:`record_call`, which the hedge call makes
+        when it completes, before anyone knows whether it won)."""
+        usage = self.usage(backend)
+        with self._lock:
+            usage.hedge_wins += 1
+
+    def record_failure(self, backend: str) -> None:
+        usage = self.usage(backend)
+        with self._lock:
+            usage.failures += 1
+
+    # -- roll-up -----------------------------------------------------------
+
+    @property
+    def calls(self) -> int:
+        return sum(u.calls for u in self.backends.values())
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(u.total_tokens for u in self.backends.values())
+
+    @property
+    def cost_usd(self) -> float:
+        return sum(u.cost_usd for u in self.backends.values())
+
+    def total(self, counter: str) -> int:
+        """Sum one named counter (``hedges``, ``escalations``, ...)."""
+        return sum(getattr(u, counter) for u in self.backends.values())
+
+    def as_dict(self) -> dict:
+        """Report payload: per-backend counters plus run totals."""
+        return {
+            "backends": {
+                name: usage.as_dict()
+                for name, usage in sorted(self.backends.items())
+            },
+            "calls": self.calls,
+            "prompt_tokens": sum(u.prompt_tokens for u in self.backends.values()),
+            "completion_tokens": sum(
+                u.completion_tokens for u in self.backends.values()
+            ),
+            "total_tokens": self.total_tokens,
+            "cost_usd": round(self.cost_usd, 6),
+            "escalations": self.total("escalations"),
+            "failovers": self.total("failovers"),
+            "hedges": self.total("hedges"),
+            "hedge_wins": self.total("hedge_wins"),
+            "throttled": self.total("throttled"),
+            "failures": self.total("failures"),
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self.backends.clear()
+
+
+#: The always-on process default (mirrors the compile cache's
+#: DEFAULT_CACHE): pools report here unless a run scopes its own ledger.
+DEFAULT_TOKEN_COUNTER = TokenCounter()
+
+_active_counter: TokenCounter = DEFAULT_TOKEN_COUNTER
+_active_lock = threading.Lock()
+
+
+def get_active_token_counter() -> TokenCounter:
+    """The ledger LLM pools currently report into."""
+    return _active_counter
+
+
+def set_active_token_counter(counter: TokenCounter) -> TokenCounter:
+    """Install ``counter`` as the active ledger; returns the previous."""
+    global _active_counter
+    with _active_lock:
+        previous = _active_counter
+        _active_counter = counter
+    return previous
+
+
+@contextmanager
+def use_token_counter(counter: TokenCounter) -> Iterator[TokenCounter]:
+    """Scope ``counter`` as the active ledger for a ``with`` block."""
+    previous = set_active_token_counter(counter)
+    try:
+        yield counter
+    finally:
+        set_active_token_counter(previous)

@@ -57,7 +57,21 @@ if TYPE_CHECKING:  # typing only: avoid runtime cycles
 #: RTLFixerConfig fields that control *how* a run executes, not what it
 #: computes -- excluded from :func:`config_digest` so e.g. resuming with
 #: more workers still replays the journal.
-EXECUTION_ONLY_FIELDS = frozenset({"jobs", "on_error", "run_dir", "breaker_threshold"})
+EXECUTION_ONLY_FIELDS = frozenset(
+    {
+        "jobs",
+        "on_error",
+        "run_dir",
+        "breaker_threshold",
+        # Pool timing knobs: hedging is primary-preferred and the
+        # limiter/concurrency caps shape latency only, so none of them
+        # can change a trial's result.  llm_pool / llm_escalate_after
+        # DO change which model answers and stay in the digest.
+        "llm_hedge",
+        "llm_rate",
+        "llm_concurrency",
+    }
+)
 
 #: Run-directory artifact names.
 JOURNAL_FILE = "journal.jsonl"

@@ -38,11 +38,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Literal, Optional
 
 from ..errors import InjectedFault, LLMTimeoutError
-from ..llm.base import RepairStep
+from .retry import guidance_key, messages_key
 
 if TYPE_CHECKING:
     from ..diagnostics.compiler import CompileResult
-    from ..llm.base import ChatMessage
+    from ..llm.base import ChatMessage, RepairStep
 
 FaultKind = Literal["exception", "timeout", "garbage"]
 
@@ -188,8 +188,16 @@ class ChaosRepairSession:
 
     def step(self, code: str, feedback: str, guidance: list) -> RepairStep:
         """One model turn, faulted by content key (a retry of the same
-        turn re-draws the same decision, so transient specs recover)."""
-        key = f"{self.key}|{_digest(code)}|{_digest(feedback)}"
+        turn re-draws the same decision, so transient specs recover).
+        Guidance participates in the key -- mirroring the retry layer --
+        so turns differing only in retrieved guidance draw independent
+        fault decisions."""
+        # Imported here, not at module top: repro.llm.pool imports this
+        # module, so a top-level llm import would be circular when the
+        # runtime package initializes first (e.g. `rtlfixer fuzz`).
+        from ..llm.base import RepairStep
+
+        key = f"{self.key}|{_digest(code)}|{_digest(feedback)}|{guidance_key(guidance)}"
         kind = self.injector.fire("llm.step", key)
         if kind == "garbage":
             return RepairStep(
@@ -197,6 +205,13 @@ class ChaosRepairSession:
                 code=GARBAGE_CODE,
             )
         return self.inner.step(code, feedback, guidance)
+
+    def observe(self, success: bool) -> None:
+        """Forward the agent's per-iteration outcome signal (tier
+        escalation) to the wrapped session when it routes on it."""
+        notice = getattr(self.inner, "observe", None)
+        if callable(notice):
+            notice(success)
 
 
 class ChaosLLMClient:
@@ -207,8 +222,12 @@ class ChaosLLMClient:
         self.injector = injector
 
     def complete(self, messages: list["ChatMessage"], temperature: float = 0.4) -> str:
-        """One chat completion, possibly faulted or garbled."""
-        key = _digest("|".join(m.content for m in messages))
+        """One chat completion, possibly faulted or garbled.  Keyed
+        role- and temperature-aware (:func:`~repro.runtime.retry.messages_key`)
+        like the retry layer, so a rearranged conversation or a changed
+        temperature draws a fresh fault decision and a retried identical
+        call re-draws the same one."""
+        key = messages_key(messages, temperature)
         kind = self.injector.fire("client.complete", key)
         if kind == "garbage":
             return GARBAGE_CODE

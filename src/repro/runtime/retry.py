@@ -49,6 +49,52 @@ def _digest(text: str) -> str:
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
+def _update_length_prefixed(hasher, text: str) -> None:
+    """Feed one field into ``hasher`` with an 8-byte length prefix, so
+    adjacent fields can never alias across their boundary."""
+    data = text.encode()
+    hasher.update(len(data).to_bytes(8, "big"))
+    hasher.update(data)
+
+
+def messages_key(messages: list["ChatMessage"], temperature: float) -> str:
+    """Content key for one raw chat-completion call.
+
+    Each message contributes its ``(role, content)`` pair length-
+    prefixed, and the temperature participates, so ``["a|b"]`` never
+    collides with ``["a", "b"]``, a system-vs-user swap draws a fresh
+    backoff/fault decision, and so does a temperature change.  Shared
+    by the retry and chaos layers: both must key identically or a
+    transient chaos fault could clear on a key the retry loop never
+    re-draws.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(repr(float(temperature)).encode())
+    hasher.update(len(messages).to_bytes(8, "big"))
+    for message in messages:
+        _update_length_prefixed(hasher, message.role)
+        _update_length_prefixed(hasher, message.content)
+    return hasher.hexdigest()[:16]
+
+
+def guidance_key(guidance: list) -> str:
+    """Content key over retrieved guidance entries.
+
+    Two repair turns that differ only in what the retriever surfaced
+    are different model calls and must draw independent backoff and
+    fault decisions; every identifying field of each entry participates,
+    length-prefixed (same anti-aliasing rule as :func:`messages_key`).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(len(guidance).to_bytes(8, "big"))
+    for entry in guidance:
+        category = getattr(entry, "category", None)
+        _update_length_prefixed(hasher, getattr(category, "value", "") or "")
+        for attribute in ("compiler", "log_pattern", "guidance", "demonstration"):
+            _update_length_prefixed(hasher, getattr(entry, attribute, "") or "")
+    return hasher.hexdigest()[:16]
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Retry budget + deterministic backoff schedule.
@@ -194,14 +240,25 @@ class RetryingRepairSession:
 
     def step(self, code: str, feedback: str, guidance: list) -> "RepairStep":
         """One retried model turn (keyed by turn content, so the backoff
-        schedule is reproducible per call site)."""
+        schedule is reproducible per call site).  Guidance participates
+        in the key: two turns differing only in retrieved guidance are
+        distinct calls with their own backoff schedule and transient-
+        fault budget."""
         return call_with_retry(
             lambda: self.inner.step(code, feedback, guidance),
             self.policy,
-            key=f"step|{_digest(code)}|{_digest(feedback)}",
+            key=f"step|{_digest(code)}|{_digest(feedback)}|{guidance_key(guidance)}",
             sleep=self._sleep,
             clock=self._clock,
         )
+
+    def observe(self, success: bool) -> None:
+        """Forward the agent's per-iteration outcome signal to sessions
+        that route on it (the pool's tier-escalation policy); a no-op
+        for sessions that do not."""
+        notice = getattr(self.inner, "observe", None)
+        if callable(notice):
+            notice(success)
 
 
 class RetryingLLMClient:
@@ -223,8 +280,10 @@ class RetryingLLMClient:
         self._clock = clock
 
     def complete(self, messages: list["ChatMessage"], temperature: float = 0.4) -> str:
-        """One retried chat completion."""
-        key = "complete|" + _digest("|".join(m.content for m in messages))
+        """One retried chat completion, keyed role- and temperature-
+        aware (see :func:`messages_key`) so rearranged conversations or
+        resampled temperatures never share a backoff schedule."""
+        key = "complete|" + messages_key(messages, temperature)
         return call_with_retry(
             lambda: self.inner.complete(messages, temperature=temperature),
             self.policy,

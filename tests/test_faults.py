@@ -23,6 +23,8 @@ from repro.errors import (
 from repro.eval.runner import run_fix_experiment
 from repro.llm import SimulatedLLM
 from repro.llm.base import RepairStep
+from repro.llm.base import ChatMessage
+from repro.rag.guidance_data import build_default_database
 from repro.runtime import (
     GARBAGE_CODE,
     ChaosCompiler,
@@ -32,10 +34,13 @@ from repro.runtime import (
     FaultSpec,
     ParallelRunner,
     RetryingCompiler,
+    RetryingLLMClient,
     RetryingRepairModel,
     RetryPolicy,
     WorkFailure,
     call_with_retry,
+    guidance_key,
+    messages_key,
     partition_failures,
 )
 
@@ -596,3 +601,106 @@ def _fail_or_sleep(item: tuple) -> str:
         raise RuntimeError("fast failure")
     time.sleep(duration)
     return kind
+
+
+# ---------------------------------------------------------------------------
+# Content-key regressions: role / boundary / temperature / guidance
+# ---------------------------------------------------------------------------
+
+
+class TestContentKeying:
+    """Regressions for the aliasable chaos/retry keys.
+
+    The old keys joined message *contents* only, so a swapped role, a
+    moved message boundary, or a changed temperature collapsed onto one
+    key -- sharing one fault decision, one transient-recovery budget and
+    one backoff schedule across genuinely different calls."""
+
+    ROLE_A = [ChatMessage("system", "a"), ChatMessage("user", "b")]
+    ROLE_B = [ChatMessage("user", "a"), ChatMessage("system", "b")]
+    JOINED = [ChatMessage("user", "a|b")]
+    SPLIT = [ChatMessage("user", "a"), ChatMessage("user", "b")]
+
+    def test_messages_key_sees_roles(self):
+        assert messages_key(self.ROLE_A, 0.4) != messages_key(self.ROLE_B, 0.4)
+
+    def test_messages_key_sees_boundaries(self):
+        assert messages_key(self.JOINED, 0.4) != messages_key(self.SPLIT, 0.4)
+        glued = [ChatMessage("user", "ab")]
+        assert messages_key(glued, 0.4) != messages_key(self.SPLIT, 0.4)
+
+    def test_messages_key_sees_temperature(self):
+        assert messages_key(self.ROLE_A, 0.4) != messages_key(self.ROLE_A, 0.9)
+
+    def test_messages_key_is_stable(self):
+        assert messages_key(self.ROLE_A, 0.4) == messages_key(
+            [ChatMessage("system", "a"), ChatMessage("user", "b")], 0.4
+        )
+
+    def test_guidance_key_sees_entries_and_order(self):
+        entries = build_default_database().for_compiler("quartus")[:2]
+        assert guidance_key([]) != guidance_key(entries[:1])
+        assert guidance_key(entries[:1]) != guidance_key(entries[1:2])
+        assert guidance_key(entries) != guidance_key(list(reversed(entries)))
+        assert guidance_key(entries) == guidance_key(list(entries))
+
+    def test_chaos_client_budgets_are_per_call_shape(self):
+        # transient_failures=1: each distinct key faults exactly once.
+        # If any two of these calls aliased onto one key, the second
+        # would ride the first's spent budget and never fault -- so the
+        # retry wrapper would log fewer raised faults than call shapes.
+        class _Echo:
+            def complete(self, messages, temperature=0.4):
+                return "echo"
+
+        injector = FaultInjector(
+            seed=0,
+            client=FaultSpec(rate=1.0, kind="exception", transient_failures=1),
+        )
+        client = RetryingLLMClient(
+            ChaosLLMClient(_Echo(), injector),
+            RetryPolicy(max_retries=2, seed=0),
+            sleep=lambda _s: None,
+        )
+        calls = [
+            (self.ROLE_A, 0.4),
+            (self.ROLE_B, 0.4),  # role swap
+            (self.JOINED, 0.4),
+            (self.SPLIT, 0.4),  # boundary alias
+            (self.ROLE_A, 0.9),  # temperature change
+        ]
+        for messages, temperature in calls:
+            assert client.complete(messages, temperature=temperature) == "echo"
+        # Every call shape drew (and healed) its own independent fault.
+        assert len(injector._raised) == len(calls)
+        assert all(count == 1 for count in injector._raised.values())
+
+    def test_chaos_session_budgets_are_per_guidance(self):
+        entries = build_default_database().for_compiler("quartus")[:2]
+        injector = FaultInjector(
+            seed=0,
+            llm=FaultSpec(rate=1.0, kind="exception", transient_failures=1),
+        )
+        model = ChaosRepairModel(SimulatedLLM(), injector)
+        with pytest.raises(InjectedFault):
+            model.start(BROKEN, "quartus", True)  # start faults once too
+        session = model.start(BROKEN, "quartus", True)
+        variants = [[], entries[:1], entries[1:2], entries]
+        for guidance in variants:
+            with pytest.raises(InjectedFault):
+                session.step(BROKEN, "", list(guidance))
+            # Same turn retried: the budget for *this* key is spent.
+            step = session.step(BROKEN, "", list(guidance))
+            assert step.code
+        llm_keys = [k for k in injector._raised if k[0] == "llm.step"]
+        assert len(llm_keys) == len(variants)
+
+    def test_backoff_schedules_differ_per_key(self):
+        policy = RetryPolicy(max_retries=4, jitter=0.5, seed=0)
+        role_a = list(policy.delays("complete|" + messages_key(self.ROLE_A, 0.4)))
+        role_b = list(policy.delays("complete|" + messages_key(self.ROLE_B, 0.4)))
+        assert role_a != role_b
+        # ...but the schedule for one key is reproducible.
+        assert role_a == list(
+            policy.delays("complete|" + messages_key(self.ROLE_A, 0.4))
+        )
