@@ -12,7 +12,10 @@
 # simulation-engine benches (compiled vs interp throughput, verdict
 # cache) as BENCH_sim.json (override with BENCH_SIM_JSON=), and the
 # LLM-pool benches (routed vs direct overhead, tokens/trial, hedged
-# tail latency) as BENCH_llm.json (override with BENCH_LLM_JSON=).
+# tail latency) as BENCH_llm.json (override with BENCH_LLM_JSON=), and
+# the repair-service load benchmark (p50/p99 latency, jobs/sec, shed
+# rate via scripts/loadgen.py) as BENCH_service.json (override with
+# BENCH_SERVICE_JSON=).
 #
 # The chaos (fault-injection) suite and a fuzz smoke run first: perf
 # numbers for a runtime whose failure paths are broken, or a compiler
@@ -77,6 +80,17 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
     -k "llm_pool" --benchmark-only \
     --benchmark-json "$llm_out"
 echo "LLM pool benchmark written to $llm_out"
+
+# Repair-service load benchmark: a spawned server driven by the
+# deterministic load generator; p50/p99 latency, jobs/sec, shed rate
+# and cache hit rates land in BENCH_service.json (override with
+# BENCH_SERVICE_JSON=; skip with REPRO_BENCH_SKIP_SERVICE=1).
+if [[ "${REPRO_BENCH_SKIP_SERVICE:-0}" != "1" ]]; then
+    service_out="${BENCH_SERVICE_JSON:-BENCH_service.json}"
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python scripts/loadgen.py --out "$service_out"
+    echo "service benchmark written to $service_out"
+fi
 
 # The main run goes last: every pytest session rewrites the tracked
 # benchmark_results.txt, so the broadest table set must be the one that

@@ -6,13 +6,14 @@
 # differential (warm CompileSession vs cold compile_source over the full
 # 212-sample dataset, both flavours, bit-identical), the simulator
 # differential (compiled engine vs interpreter over every corpus
-# reference, verdicts and traces bit-identical), and the durable-run
-# resume smoke (run, SIGKILL, resume, compare report digests).  Exits
-# non-zero if any stage fails; later stages still run so one log shows
-# every break.
+# reference, verdicts and traces bit-identical), the durable-run
+# resume smoke (run, SIGKILL, resume, compare report digests), and the
+# repair-service smoke (serve, SIGTERM drain mid-load, resume, replay
+# digest-identical).  Exits non-zero if any stage fails; later stages
+# still run so one log shows every break.
 #
 # Usage:
-#   scripts/ci.sh                # all seven stages
+#   scripts/ci.sh                # all eight stages
 #   FUZZ_ITERATIONS=1000 scripts/ci.sh   # deeper fuzz stage
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -41,6 +42,9 @@ python scripts/sim_diff.py || status=1
 
 echo "== resume smoke (run, kill -9, resume, compare digests) =="
 python scripts/resume_smoke.py || status=1
+
+echo "== service smoke (serve, SIGTERM drain mid-load, resume, replay) =="
+python scripts/service_smoke.py || status=1
 
 if [[ "$status" -eq 0 ]]; then
     echo "CI: all stages passed"

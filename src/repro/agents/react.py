@@ -5,17 +5,27 @@ expert guidance (the RAG action), ask the model for a Thought + revised
 code, recompile.  It stops on success (Finish action), when the model
 declares itself done, or after ``max_iterations`` Thought-Action-
 Observation rounds (the paper uses 10).
+
+Service integration: the loop honours an ambient request
+:class:`~repro.service.deadline.Deadline` -- checked at the top of
+every iteration, so an over-budget repair stops *mid-run* with
+:class:`~repro.errors.DeadlineExceededError` instead of discovering
+the overrun after finishing -- and emits every transcript turn through
+an optional ``on_turn`` observer, which the repair server streams to
+clients as per-iteration SSE progress events.  Both are no-ops for
+batch runs (no deadline in scope, no observer attached).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..diagnostics import Compiler
 from ..llm.base import RepairModel
 from ..rag.retrievers import Retriever
-from .transcript import Transcript
+from ..service.deadline import current_deadline
+from .transcript import Transcript, Turn
 
 DEFAULT_MAX_ITERATIONS = 10
 
@@ -58,12 +68,25 @@ class ReActAgent:
         retriever: Optional[Retriever] = None,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         apply_rule_fix: bool = True,
+        on_turn: Optional[Callable[[Turn], None]] = None,
     ):
         self.model = model
         self.compiler = compiler
         self.retriever = retriever
         self.max_iterations = max_iterations
         self.apply_rule_fix = apply_rule_fix
+        #: Progress observer: called with every transcript Turn the
+        #: moment it is recorded (the repair service streams these as
+        #: SSE events).  May be (re)assigned after construction; must
+        #: never raise -- it runs inside the repair loop.
+        self.on_turn = on_turn
+
+    def _record(self, transcript: Transcript, **turn_fields) -> Turn:
+        """Append one transcript turn and notify the observer."""
+        turn = transcript.add(**turn_fields)
+        if self.on_turn is not None:
+            self.on_turn(turn)
+        return turn
 
     def run(self, code: str, description: str = "") -> AgentResult:
         """Debug ``code`` with the ReAct loop until it compiles or the
@@ -76,11 +99,14 @@ class ReActAgent:
         if self.apply_rule_fix:
             rule_result = rule_fix(code)
             rule_fixed = record_rule_fix(transcript, code, rule_result)
+            if rule_fixed and self.on_turn is not None:
+                self.on_turn(transcript.turns[-1])
             code = rule_result.code
 
         result = self.compiler.compile(code)
         if result.ok:
-            transcript.add(
+            self._record(
+                transcript,
                 thought=(
                     "The rule-based fixes made the module compile cleanly; "
                     "no model repair needed."
@@ -98,6 +124,13 @@ class ReActAgent:
 
         iterations = 0
         for _ in range(self.max_iterations):
+            # Deadline seam: a request served past its budget helps no
+            # one -- stop mid-ReAct instead of finishing the repair and
+            # discovering the overrun post-hoc.  Batch runs have no
+            # ambient deadline and skip this entirely.
+            deadline = current_deadline()
+            if deadline is not None:
+                deadline.check(stage="react-iteration")
             feedback = result.log
             guidance = []
             # A crashed compile (internal-error diagnostic, see
@@ -109,7 +142,8 @@ class ReActAgent:
             if self.retriever is not None and feedback and not crashed:
                 guidance = [r.entry for r in self.retriever.retrieve(feedback)]
                 if guidance:
-                    transcript.add(
+                    self._record(
+                        transcript,
                         thought="I should look up expert guidance for this "
                         "compiler log.",
                         action="RAG",
@@ -127,14 +161,16 @@ class ReActAgent:
             notice = getattr(session, "observe", None)
             if callable(notice):
                 notice(result.ok)
-            transcript.add(
+            self._record(
+                transcript,
                 thought=step.thought,
                 action="Compiler",
                 action_input=_head(code),
                 observation=result.log,
             )
             if result.ok:
-                transcript.add(
+                self._record(
+                    transcript,
                     thought="The compiler reports no errors; the syntax "
                     "error is resolved.",
                     action="Finish", action_input="answer", observation="",

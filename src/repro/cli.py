@@ -12,6 +12,11 @@ Subcommands:
   0 success, 2 durable-run misuse, 3 failed work units were isolated,
   4 the circuit breaker tripped, 128+signum interrupted (first
   SIGINT/SIGTERM drains and checkpoints; a second aborts hard);
+* ``serve``             -- run the repair service: an overload-safe
+  asyncio HTTP/JSON front-end with bounded admission, per-tenant
+  weighted fairness, per-request deadlines, SSE progress streaming,
+  and two-stage graceful drain on SIGTERM (``--run-dir``/``--resume``
+  make drained results replayable);
 * ``fuzz``              -- fuzz the compiler front-end and verify its
   never-crash/never-hang invariants (``--seed``/``--iterations``).
 """
@@ -30,6 +35,26 @@ def _llm_line(ledger: dict, routing_text: str) -> str:
         f"escalations={ledger['escalations']} failovers={ledger['failovers']} "
         f"hedges={ledger['hedges']} throttled={ledger['throttled']} "
         f"failures={ledger['failures']}"
+    )
+
+
+def _service_line(snapshot: dict) -> str:
+    """The ``# service:`` stderr line (admission/shed/outcome ledger)."""
+    shed = ",".join(
+        f"{reason}={count}" for reason, count in snapshot["shed"].items()
+    ) or "none"
+    tenants = ",".join(
+        f"{name}:{row['admitted']}/{row['shed']}"
+        for name, row in snapshot.get("tenants", {}).items()
+    ) or "none"
+    return (
+        f"# service: admitted={snapshot['admitted']} "
+        f"completed={snapshot['completed']} "
+        f"shed={snapshot['total_shed']}[{shed}] "
+        f"deadline_expired={snapshot['deadline_expired']} "
+        f"backend_errors={snapshot['backend_errors']} "
+        f"crashed={snapshot['crashed']} replayed={snapshot['replayed']} "
+        f"tenants[admitted/shed]={tenants}"
     )
 
 
@@ -222,6 +247,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
     if report.llm:
         print(_llm_line(report.llm, report.llm["routing"]), file=sys.stderr)
+    if report.service:
+        print(_service_line(report.service), file=sys.stderr)
     if args.run_dir:
         print(
             f"# durable run: {report.resume.get('replayed', 0)} trial(s) "
@@ -248,6 +275,72 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if report.failed_units:
         return EXIT_FAILED_UNITS
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.scheduler import SchedulerConfig
+    from .service.server import RepairServer, ServerConfig
+
+    weights: dict[str, float] = {}
+    for item in args.weight or []:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            print(f"error: --weight wants TENANT=WEIGHT, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            weights[name] = float(value)
+        except ValueError:
+            print(f"error: --weight {item!r}: weight must be a number",
+                  file=sys.stderr)
+            return 2
+    chaos = None
+    if args.chaos_outage:
+        start_text, sep, count_text = args.chaos_outage.partition(":")
+        try:
+            if not sep:
+                raise ValueError
+            chaos = (int(start_text), int(count_text))
+        except ValueError:
+            print(
+                f"error: --chaos-outage wants START:COUNT, got "
+                f"{args.chaos_outage!r}",
+                file=sys.stderr,
+            )
+            return 2
+    from .errors import CheckpointError
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            scheduler=SchedulerConfig(
+                capacity=args.capacity,
+                max_queue_per_tenant=args.queue_per_tenant,
+                max_queued=args.max_queued,
+                tenant_rate=args.tenant_rate,
+                tenant_burst=args.tenant_burst,
+                weights=weights,
+                default_deadline_s=args.default_deadline,
+            ),
+            breaker_threshold=args.breaker_threshold,
+            probe_interval=args.probe_interval,
+            run_dir=args.run_dir,
+            resume=args.resume,
+            max_retries=args.max_retries,
+            step_timeout=args.step_timeout,
+            llm_pool=args.llm_pool,
+            work_delay=args.work_delay,
+            chaos_outage=chaos,
+        )
+        server = RepairServer(config)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CHECKPOINT_MISUSE
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return server.run()
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -397,6 +490,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_llm_pool_args(rep)
     rep.set_defaults(func=_cmd_report)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the repair service: an overload-safe async HTTP/JSON "
+        "front-end with admission control, per-request deadlines, SSE "
+        "progress streaming and graceful drain on SIGTERM",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8357,
+                     help="listen port (0 = pick a free port; the bound "
+                     "address is printed as a 'SERVING http://...' line)")
+    srv.add_argument("--capacity", type=int, default=2, metavar="N",
+                     help="concurrent repair workers (the in-flight limit)")
+    srv.add_argument("--queue-per-tenant", type=int, default=8, metavar="N",
+                     help="bounded per-tenant queue depth; submissions "
+                     "beyond it are shed with reason tenant_queue_full")
+    srv.add_argument("--max-queued", type=int, default=64, metavar="N",
+                     help="server-wide bound on total queued jobs")
+    srv.add_argument("--tenant-rate", type=float, default=0.0, metavar="RPS",
+                     help="per-tenant admission quota in jobs/second "
+                     "(token bucket; 0 = unlimited)")
+    srv.add_argument("--tenant-burst", type=int, default=8, metavar="N",
+                     help="per-tenant quota burst (bucket capacity)")
+    srv.add_argument("--weight", action="append", metavar="TENANT=W",
+                     help="scheduling weight for a tenant (repeatable); "
+                     "under contention a weight-2 tenant drains twice as "
+                     "fast as a weight-1 tenant (default weight: 1)")
+    srv.add_argument("--default-deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="deadline applied to requests that do not set "
+                     "deadline_s (default: none)")
+    srv.add_argument("--breaker-threshold", type=int, default=5, metavar="N",
+                     help="consecutive backend failures that trip the "
+                     "circuit breaker; while open, submissions shed with "
+                     "reason breaker_open (0 disables)")
+    srv.add_argument("--probe-interval", type=int, default=3, metavar="N",
+                     help="every Nth breaker denial converts into a "
+                     "half-open heal probe")
+    srv.add_argument("--run-dir", metavar="DIR", default=None,
+                     help="journal every terminal result into DIR; a "
+                     "drained/killed server restarted with --resume "
+                     "answers resubmitted jobs from the journal with "
+                     "digest-identical results")
+    srv.add_argument("--resume", action="store_true",
+                     help="continue an existing --run-dir journal")
+    srv.add_argument("--max-retries", type=int, default=2,
+                     help="per-job retry budget for transient backend "
+                     "faults")
+    srv.add_argument("--step-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-model-call timeout applied to every job")
+    srv.add_argument("--llm-pool", metavar="SPEC", default=None,
+                     help="LLM backend pool spec applied to every job "
+                     "(same syntax as fix/report --llm-pool)")
+    srv.add_argument("--work-delay", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="artificial deadline-aware work per job; makes "
+                     "overload/drain drills deterministic (0 disables)")
+    srv.add_argument("--chaos-outage", metavar="START:COUNT", default=None,
+                     help="chaos drill: dispatched jobs [START, "
+                     "START+COUNT) fail as a backend outage; the service "
+                     "must shed, trip the breaker, and heal via a probe")
+    srv.set_defaults(func=_cmd_serve)
 
     fz = sub.add_parser(
         "fuzz",

@@ -41,6 +41,17 @@ class RTLFixerConfig:
     #: Per-model-call timeout budget in seconds (None = unlimited).
     #: Over-budget calls count as retryable timeouts.
     step_timeout: Optional[float] = None
+    #: Whole-repair deadline in seconds (None = unlimited, the batch
+    #: default).  When set, :meth:`RTLFixer.fix` scopes an ambient
+    #: :class:`repro.service.Deadline` around the run: the ReAct loop
+    #: checks it every iteration and the retry layer refuses to dispatch
+    #: or back off past it, so an over-budget repair stops mid-run with
+    #: DeadlineExceededError.  Unlike ``step_timeout`` this can truncate
+    #: a repair and therefore change its result, so it participates in
+    #: the trial-key config digest (the repair service instead passes
+    #: per-request deadlines ambiently, keeping its job keys
+    #: deadline-free so journal replay works across budgets).
+    deadline_s: Optional[float] = None
     #: Experiment-level failure handling: "raise" aborts the run on the
     #: first failed work unit (pending units are cancelled); "collect"
     #: isolates failures as per-unit WorkFailure records so one poisoned
@@ -105,6 +116,8 @@ class RTLFixerConfig:
             raise ValueError("max_retries must be >= 0 (0 disables retries)")
         if self.step_timeout is not None and self.step_timeout <= 0:
             raise ValueError("step_timeout must be > 0 seconds (or None)")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0 seconds (or None)")
         if self.on_error not in ("raise", "collect"):
             raise ValueError(
                 f"on_error must be raise|collect, got {self.on_error!r}"

@@ -28,6 +28,7 @@ from ..rag.database import GuidanceDatabase
 from ..rag.guidance_data import build_default_database
 from ..rag.retrievers import Retriever, make_retriever
 from ..runtime.retry import RetryingCompiler, RetryingRepairModel, RetryPolicy
+from ..service.deadline import Deadline, use_deadline
 from .config import RTLFixerConfig
 
 
@@ -120,7 +121,22 @@ class RTLFixer:
 
     def fix(self, code: str, description: str = "") -> AgentResult:
         """Debug one erroneous implementation until it compiles (or the
-        iteration budget runs out)."""
+        iteration budget runs out).
+
+        With ``config.deadline_s`` set, the whole repair runs under an
+        ambient :class:`~repro.service.Deadline`: the ReAct loop and
+        the retry layer stop mid-run with
+        :class:`~repro.errors.DeadlineExceededError` once the budget is
+        gone.  An already-scoped ambient deadline (the repair service's
+        per-request budget) is left in place -- the config knob only
+        fills the gap for batch callers.
+        """
+        if self.config.deadline_s is not None:
+            from ..service.deadline import current_deadline
+
+            if current_deadline() is None:
+                with use_deadline(Deadline(self.config.deadline_s)):
+                    return self.agent.run(code, description=description)
         return self.agent.run(code, description=description)
 
     def with_seed(self, seed: int) -> "RTLFixer":

@@ -85,6 +85,44 @@ class InjectedFault(TransientError):
     (:mod:`repro.runtime.faults`), never by production code paths."""
 
 
+class DeadlineExceededError(ReproError):
+    """A per-request deadline ran out before the work finished.
+
+    Distinct from :class:`LLMTimeoutError` on purpose: a *per-call*
+    budget overrun is a transient backend fault worth retrying, while an
+    expired *deadline* means the caller's overall budget is gone -- no
+    retry can help, so this is **not** a :class:`TransientError` and the
+    retry layer never re-dispatches after it (see
+    :func:`repro.runtime.retry.call_with_retry`).  The repair service
+    (:mod:`repro.service`) raises it from inside the ReAct loop so an
+    over-deadline job stops mid-iteration instead of discovering the
+    overrun after completing, and reports it as a typed
+    ``deadline_exceeded`` response rather than a backend error.
+
+    ``stage`` names where the deadline fired (e.g. ``"queued"``,
+    ``"react-iteration"``, ``"retry-backoff"``).
+    """
+
+    def __init__(self, message: str, stage: str = ""):
+        super().__init__(message)
+        self.stage = stage
+
+
+class OverloadedError(ReproError):
+    """The repair service refused to admit a job (load shedding).
+
+    Raised by the admission controller (:mod:`repro.service.scheduler`)
+    and converted by the server into a typed ``overloaded`` HTTP
+    response; ``reason`` is the machine-readable shed reason
+    (``tenant_queue_full``, ``server_queue_full``, ``tenant_quota``,
+    ``breaker_open``, ``draining``).
+    """
+
+    def __init__(self, message: str, reason: str = ""):
+        super().__init__(message)
+        self.reason = reason
+
+
 class CheckpointError(ReproError):
     """A durable run directory could not be used (manifest mismatch,
     journal clobber without ``--resume``, undecodable journal payload).

@@ -106,6 +106,11 @@ class FullReport:
     #: ``to_json``, so a pooled run over simulated tiers produces a
     #: report byte-identical to the direct run.
     llm: dict = field(default_factory=dict)
+    #: Repair-service telemetry (admission/shed/outcome counters from
+    #: the ambient :class:`~repro.service.ServiceStats` ledger), present
+    #: only when a report runs under a live service scope.  Runtime
+    #: telemetry -- excluded from ``to_json`` like ``llm``/``sim``.
+    service: dict = field(default_factory=dict)
     rendered: dict = field(default_factory=dict)
 
     @property
@@ -144,7 +149,7 @@ class FullReport:
         sections = ["# Reproduction report\n"]
         for name in ("table1", "table2", "table3", "figure4", "figure7",
                      "figure6", "simfix", "cache", "pipeline", "sim",
-                     "llm", "resume", "breaker", "failures"):
+                     "llm", "service", "resume", "breaker", "failures"):
             if name in self.rendered:
                 sections.append(f"## {name}\n\n```\n{self.rendered[name]}\n```\n")
         return "\n".join(sections)
@@ -281,6 +286,19 @@ def run_full_report(
                 if key != "backends"
             )
             report.rendered["llm"] = "\n".join(llm_lines)
+        # The ambient service ledger, when this report runs under a
+        # live repair service (lazy import: the report layer must not
+        # pull the service stack in for plain batch runs).
+        from ..service.scheduler import get_active_service_stats
+
+        service_stats = get_active_service_stats()
+        if service_stats is not None:
+            report.service = service_stats.as_dict()
+            report.rendered["service"] = "\n".join(
+                f"{key}: {value}"
+                for key, value in report.service.items()
+                if key != "tenants"
+            )
         report.rendered["resume"] = "\n".join(
             f"{key}: {value}" for key, value in report.resume.items()
         )

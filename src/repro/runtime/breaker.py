@@ -37,10 +37,21 @@ the retry layer so persistent transients surface as exhaustion.
 Skipped trials are journaled with a ``skipped`` marker, never replayed:
 a resumed run re-executes them (like journaled real failures), because
 the outage that caused the skip is expected to have cleared.
+
+Concurrency: the breaker was built for the serial dispatch loop in
+:mod:`repro.runtime.executor`, but the repair service
+(:mod:`repro.service`) drives it from many concurrent handlers.  All
+state transitions are therefore guarded by a reentrant lock, and
+:meth:`admit` offers the *atomic* allow-and-sample-probe operation the
+concurrent callers need -- the executor's two-step ``allow()`` /
+``probing`` dance is safe only because its dispatch loop is serial;
+two concurrent handlers interleaving it could both believe they hold
+the half-open probe (double-dispatch) or lose a trip.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from ..errors import TransientError
@@ -83,6 +94,9 @@ class CircuitBreaker:
         self.skipped = 0
         self._denied_since_open = 0
         self._probe_outstanding = False
+        # Reentrant so record_failure may call _trip while holding it;
+        # guards every state transition against concurrent handlers.
+        self._lock = threading.RLock()
 
     @staticmethod
     def counts(exc: BaseException) -> bool:
@@ -102,17 +116,36 @@ class CircuitBreaker:
         While open, denials are tallied; every ``probe_interval``-th
         denial converts into a half-open probe instead.  While a probe
         is in flight (half-open) all other trials are denied.
+
+        Serial callers only: concurrent callers must use :meth:`admit`,
+        which also reports *atomically* whether the admitted unit is
+        the probe (sampling :attr:`probing` after ``allow`` returns is
+        racy under concurrency).
         """
-        if self.state == CLOSED:
-            return True
-        if self.state == OPEN and self.probe_interval is not None:
-            self._denied_since_open += 1
-            if self._denied_since_open >= self.probe_interval:
-                self.state = HALF_OPEN
-                self._probe_outstanding = True
-                return True
-        self.skipped += 1
-        return False
+        allowed, _ = self.admit()
+        return allowed
+
+    def admit(self) -> tuple[bool, bool]:
+        """Atomic dispatch decision: ``(allowed, is_probe)``.
+
+        Equivalent to :meth:`allow` plus sampling :attr:`probing`, but
+        as one locked transition, so two concurrent handlers can never
+        both conclude they hold the half-open probe.  Callers that
+        receive ``is_probe=True`` **must** settle the probe by passing
+        ``probe=True`` to exactly one ``record_*`` call, or the breaker
+        stays half-open and starves dispatch.
+        """
+        with self._lock:
+            if self.state == CLOSED:
+                return True, False
+            if self.state == OPEN and self.probe_interval is not None:
+                self._denied_since_open += 1
+                if self._denied_since_open >= self.probe_interval:
+                    self.state = HALF_OPEN
+                    self._probe_outstanding = True
+                    return True, True
+            self.skipped += 1
+            return False, False
 
     @property
     def probing(self) -> bool:
@@ -120,7 +153,8 @@ class CircuitBreaker:
         recorded.  Executors sample this right after :meth:`allow`
         returns True to learn whether the unit they are about to run is
         the probe, and pass that back via ``probe=`` when recording."""
-        return self.state == HALF_OPEN and self._probe_outstanding
+        with self._lock:
+            return self.state == HALF_OPEN and self._probe_outstanding
 
     def record_success(self, probe: Optional[bool] = None) -> None:
         """A trial succeeded: reset the tally; close the breaker.
@@ -132,14 +166,15 @@ class CircuitBreaker:
         straggler success from a unit dispatched before the trip resets
         the failure tally but leaves the probe to settle the state.
         """
-        if probe is None:
-            probe = self.state == HALF_OPEN
-        self.consecutive_failures = 0
-        if self.state == HALF_OPEN and not probe:
-            return
-        self.state = CLOSED
-        self._probe_outstanding = False
-        self._denied_since_open = 0
+        with self._lock:
+            if probe is None:
+                probe = self.state == HALF_OPEN
+            self.consecutive_failures = 0
+            if self.state == HALF_OPEN and not probe:
+                return
+            self.state = CLOSED
+            self._probe_outstanding = False
+            self._denied_since_open = 0
 
     def record_failure(
         self, exc: Optional[BaseException] = None,
@@ -155,25 +190,27 @@ class CircuitBreaker:
         In the closed state the ``failure_threshold``-th consecutive
         counted failure trips the breaker.
         """
-        if probe is None:
-            probe = self.state == HALF_OPEN
-        counted = exc is None or self.counts(exc)
-        if self.state == HALF_OPEN and probe:
-            if counted:
-                self.consecutive_failures += 1
-            self._trip()
-            return
-        if not counted:
-            return
-        self.consecutive_failures += 1
-        if (
-            self.state == CLOSED
-            and self.consecutive_failures >= self.failure_threshold
-        ):
-            self._trip()
+        with self._lock:
+            if probe is None:
+                probe = self.state == HALF_OPEN
+            counted = exc is None or self.counts(exc)
+            if self.state == HALF_OPEN and probe:
+                if counted:
+                    self.consecutive_failures += 1
+                self._trip()
+                return
+            if not counted:
+                return
+            self.consecutive_failures += 1
+            if (
+                self.state == CLOSED
+                and self.consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
 
     def _trip(self) -> None:
-        """Transition to open and start a fresh denial tally."""
+        """Transition to open and start a fresh denial tally (callers
+        hold the lock)."""
         self.state = OPEN
         self.trips += 1
         self._denied_since_open = 0
@@ -186,10 +223,23 @@ class CircuitBreaker:
 
     def snapshot(self) -> dict:
         """JSON-friendly telemetry (surfaced by ``run_full_report``)."""
-        return {
-            "state": self.state,
-            "trips": self.trips,
-            "skipped": self.skipped,
-            "consecutive_failures": self.consecutive_failures,
-            "failure_threshold": self.failure_threshold,
-        }
+        with self._lock:
+            return {
+                "state": self.state,
+                "trips": self.trips,
+                "skipped": self.skipped,
+                "consecutive_failures": self.consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+            }
+
+    def __getstate__(self) -> dict:
+        """Pickle without the lock (a breaker crossing into a process
+        worker starts with a fresh one)."""
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Restore and re-create the lock."""
+        self.__dict__.update(state)
+        self._lock = threading.RLock()

@@ -58,9 +58,11 @@ class TokenBucket:
         self._tokens = float(burst)
         self._updated = clock()
         self._lock = threading.Lock()
-        #: observability: total acquires and total imposed wait.
+        #: observability: total acquires, total imposed wait, and
+        #: non-blocking refusals (:meth:`try_acquire` shed decisions).
         self.acquires = 0
         self.waited = 0.0
+        self.refusals = 0
 
     def _refill(self, now: float) -> None:
         if now > self._updated:
@@ -88,6 +90,37 @@ class TokenBucket:
         if wait > 0.0:
             self._sleep(wait)
         return wait
+
+    def try_acquire(self) -> bool:
+        """Take one token only if it is available *right now*.
+
+        The non-blocking admission-control variant used for per-tenant
+        service quotas (:mod:`repro.service.scheduler`): unlike
+        :meth:`acquire` it never sleeps and never goes into token debt
+        -- a request beyond the quota is refused (shed) instead of
+        delayed.  Returns True when a token was taken.
+        """
+        if self.rate <= 0:
+            with self._lock:
+                self.acquires += 1
+            return True
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens < 1.0:
+                self.refusals += 1
+                return False
+            self.acquires += 1
+            self._tokens -= 1.0
+            return True
+
+    @property
+    def available(self) -> float:
+        """Tokens available right now (refilled to the current clock);
+        service telemetry only -- unlimited buckets report their burst."""
+        with self._lock:
+            if self.rate > 0:
+                self._refill(self._clock())
+            return self._tokens
 
     def __getstate__(self) -> dict:
         # Reset transient state (lock, balance) across pickling: a

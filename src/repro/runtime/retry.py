@@ -21,6 +21,16 @@ completion and its elapsed time is checked against the budget (callers
 with genuinely preemptible transports should also pass the budget down
 to the transport).  An over-budget call counts as a retryable
 :class:`repro.errors.LLMTimeoutError`.
+
+Deadlines: when an ambient request deadline is in scope
+(:func:`repro.service.deadline.use_deadline`), the retry loop becomes
+deadline-aware.  The two budgets are deliberately distinct outcomes: a
+*per-call* overrun is a transient backend fault (retry it), an expired
+*deadline* means the caller's overall budget is gone -- the loop raises
+:class:`repro.errors.DeadlineExceededError` (not transient, never
+retried) before dispatching an attempt, instead of a backoff sleep
+that would end past the deadline, and after a call that ran the
+deadline out.  A deadline-free scope behaves exactly as before.
 """
 
 from __future__ import annotations
@@ -31,7 +41,13 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterator, Optional, TypeVar
 
-from ..errors import LLMTimeoutError, RetryExhaustedError, TransientError
+from ..errors import (
+    DeadlineExceededError,
+    LLMTimeoutError,
+    RetryExhaustedError,
+    TransientError,
+)
+from ..service.deadline import current_deadline
 
 if TYPE_CHECKING:  # typing only: keep the runtime layer import-light
     from ..diagnostics.compiler import CompileResult
@@ -152,11 +168,21 @@ def call_with_retry(
     real bug and propagates unchanged.  When the budget runs out the
     last transient fault is wrapped in
     :class:`~repro.errors.RetryExhaustedError`.
+
+    Under an ambient request deadline
+    (:func:`repro.service.deadline.current_deadline`) the loop
+    additionally refuses to dispatch an attempt, or to sleep a backoff,
+    once the deadline is (or would be) expired: it raises
+    :class:`~repro.errors.DeadlineExceededError` instead, carrying the
+    stage the deadline fired at.  An expired deadline is never retried.
     """
     schedule = policy.delays(key)
     attempts = 0
     last: Optional[Exception] = None
     while True:
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check(stage="retry-dispatch")
         attempts += 1
         started = clock()
         try:
@@ -167,6 +193,12 @@ def call_with_retry(
             elapsed = clock() - started
             if policy.timeout is None or elapsed <= policy.timeout:
                 return result
+            if deadline is not None and deadline.expired():
+                # The call both blew its per-call budget and ran the
+                # request's deadline out: the caller's budget is gone,
+                # so surface the typed deadline outcome -- a retry
+                # could never be observed.
+                deadline.check(stage="retry-call")
             last = LLMTimeoutError(
                 f"call took {elapsed:.3f}s, budget is {policy.timeout:.3f}s"
             )
@@ -176,7 +208,15 @@ def call_with_retry(
                 attempts=attempts,
                 last_error=last,
             ) from last
-        sleep(next(schedule, policy.max_delay))
+        delay = next(schedule, policy.max_delay)
+        if deadline is not None and not deadline.allows(delay):
+            raise DeadlineExceededError(
+                f"deadline expires during retry backoff "
+                f"({delay:.3f}s sleep, {max(0.0, deadline.remaining()):.3f}s "
+                f"left) after {attempts} attempt(s): {last}",
+                stage="retry-backoff",
+            ) from last
+        sleep(delay)
 
 
 class RetryingRepairModel:

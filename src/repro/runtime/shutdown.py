@@ -50,12 +50,22 @@ class GracefulShutdown:
         signals: Iterable[int] = DEFAULT_SIGNALS,
         notify: Callable[[str], None] = _default_notify,
         hard_exit: Callable[[int], None] = os._exit,
+        on_request: Optional[Callable[[int], None]] = None,
     ):
         """``notify`` and ``hard_exit`` are injectable for tests (the
-        default hard exit is ``os._exit(128 + signum)``)."""
+        default hard exit is ``os._exit(128 + signum)``).
+
+        ``on_request`` is invoked (from the signal handler, with the
+        signal number) exactly once, on the *first* signal -- the hook
+        an event-loop caller uses to wake itself up instead of polling
+        :meth:`requested` (the repair service passes
+        ``loop.call_soon_threadsafe`` glue here).  Batch runs, which
+        already poll the flag between dispatches, leave it None.
+        """
         self.signals = tuple(signals)
         self._notify = notify
         self._hard_exit = hard_exit
+        self._on_request = on_request
         self._previous: dict[int, object] = {}
         self._requested = False
         #: The first signal received (None until then).
@@ -81,6 +91,8 @@ class GracefulShutdown:
             "trials, flushing the journal, then exiting with a resumable "
             "checkpoint (signal again to abort hard)"
         )
+        if self._on_request is not None:
+            self._on_request(signum)
 
     def __enter__(self) -> "GracefulShutdown":
         """Install the handlers, remembering the previous ones."""
