@@ -37,6 +37,8 @@ from repro.runtime import (
     use_compile_cache,
 )
 from repro.sim import (
+    UNTRACKED,
+    SimLimits,
     VerdictCache,
     make_simulator,
     no_verdict_cache,
@@ -408,6 +410,114 @@ def test_sim_compiled_vs_interp_throughput(benchmark):
     )
     # The tentpole acceptance floor (target is 10x; 5x is the hard gate).
     assert speedup >= 5, f"compiled engine only {speedup:.1f}x faster"
+
+
+def test_sim_sandbox_overhead(benchmark):
+    """The sandbox budget checks must cost < 5% on a clean corpus.
+
+    Measures both engines driving the register-pipeline DUT and a set of
+    clean corpus differentials with the default budgets (tracked) vs the
+    ``UNTRACKED`` sentinel (no tracker built at all), best-of-N to keep
+    timing noise out of the gate (emitted as BENCH_sandbox.json)."""
+    design = compile_source(_SIM_DUT).elaborated
+    assert design is not None
+    problems = [
+        CORPUS.get(pid)
+        for pid in ("mux2to1", "counter4_reset", "fsm_seq101", "popcount8")
+    ]
+    pairs = [compile_source(p.reference).elaborated for p in problems]
+    assert all(d is not None for d in pairs)
+
+    def overhead_pct(tracked_fn, untracked_fn, rounds):
+        """Median of per-round tracked/untracked ratios, back-to-back
+        pairs after a warmup round, alternating which variant runs
+        first.  A single min-of-N split across two separately-timed
+        batches drifts with CPU ramp-up and scheduler noise by far more
+        than the ~2% effect being measured; paired ratios cancel the
+        drift, alternation cancels within-pair ordering bias, and the
+        median ignores spikes."""
+        tracked_fn()
+        untracked_fn()
+        ratios = []
+        t_best = u_best = float("inf")
+        for index in range(rounds):
+            if index % 2 == 0:
+                t = _timed(tracked_fn)[1]
+                u = _timed(untracked_fn)[1]
+            else:
+                u = _timed(untracked_fn)[1]
+                t = _timed(tracked_fn)[1]
+            t_best = min(t_best, t)
+            u_best = min(u_best, u)
+            ratios.append(t / u if u else 1.0)
+        ratios.sort()
+        return 100.0 * (ratios[len(ratios) // 2] - 1.0), t_best, u_best
+
+    # Long-enough drives that the ~ms scheduler noise on a small CI box
+    # stays well under the effect size; the tracked variant gets a
+    # raised cycle ceiling (the per-check cost being measured does not
+    # depend on the ceiling's value).
+    drive_cycles = {"interp": _SIM_CYCLES, "compiled": 4 * _SIM_CYCLES}
+    drive_limits = SimLimits(max_cycles=10 * _SIM_CYCLES)
+    rows = []
+    overheads = {}
+    for engine, rounds in (("interp", 5), ("compiled", 7)):
+        pct, tracked, untracked = overhead_pct(
+            lambda e=engine: _drive_cycles(
+                make_simulator(design, engine=e, sim_limits=drive_limits),
+                drive_cycles[e],
+            ),
+            lambda e=engine: _drive_cycles(
+                make_simulator(design, engine=e, sim_limits=UNTRACKED),
+                drive_cycles[e],
+            ),
+            rounds=rounds,
+        )
+        overheads[engine] = pct
+        rows.append([f"drive/{engine}", f"{untracked:.3f}",
+                     f"{tracked:.3f}", f"{pct:+.1f}%"])
+        benchmark.extra_info[f"{engine}_untracked_seconds"] = round(untracked, 4)
+        benchmark.extra_info[f"{engine}_tracked_seconds"] = round(tracked, 4)
+        benchmark.extra_info[f"{engine}_overhead_pct"] = round(pct, 2)
+
+    def run_corpus(sim_limits):
+        with no_verdict_cache():
+            return [
+                run_differential(d, d, samples=128, sim_limits=sim_limits).passed
+                for d in pairs
+            ]
+
+    benchmark.pedantic(lambda: run_corpus(None), rounds=3, iterations=1)
+    corpus_pct, corpus_tracked, corpus_untracked = overhead_pct(
+        lambda: run_corpus(None), lambda: run_corpus(UNTRACKED), rounds=11
+    )
+    overheads["corpus"] = corpus_pct
+    rows.append(["corpus diff", f"{corpus_untracked:.3f}",
+                 f"{corpus_tracked:.3f}", f"{corpus_pct:+.1f}%"])
+    benchmark.extra_info["corpus_untracked_seconds"] = round(corpus_untracked, 4)
+    benchmark.extra_info["corpus_tracked_seconds"] = round(corpus_tracked, 4)
+    benchmark.extra_info["corpus_overhead_pct"] = round(corpus_pct, 2)
+
+    report(
+        "Sim: sandbox budget-check overhead (tracked vs untracked)",
+        render_table(
+            ["workload", "untracked (s)", "tracked (s)", "overhead"], rows
+        ),
+    )
+    # The acceptance gate is the clean corpus -- the workload the
+    # sandbox actually runs in production.  The synthetic drive loops
+    # are reported for visibility but gated loosely: at sub-second
+    # durations a single-vCPU box shows +/-5% run-to-run spread that
+    # paired-ratio medians cannot fully cancel.
+    assert overheads["corpus"] < 5.0, (
+        f"sandbox budgets cost {overheads['corpus']:.1f}% on the clean "
+        f"corpus (acceptance ceiling is 5%)"
+    )
+    for engine in ("interp", "compiled"):
+        assert overheads[engine] < 20.0, (
+            f"sandbox budgets cost {overheads[engine]:.1f}% on "
+            f"drive/{engine} (sanity ceiling is 20%)"
+        )
 
 
 def test_sim_verdict_cache_cold_vs_warm(benchmark):

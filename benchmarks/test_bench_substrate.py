@@ -8,7 +8,7 @@ show up directly.
 
 from repro.dataset import verilogeval
 from repro.diagnostics import compile_source
-from repro.sim import Simulator, run_differential
+from repro.sim import SimLimits, Simulator, run_differential
 
 CORPUS = verilogeval()
 COMB = CORPUS.get("vector_reverse32")
@@ -45,7 +45,10 @@ def test_simulator_construction(benchmark):
 
 def test_sequential_cycles_per_second(benchmark):
     elab = compile_source(SEQ.reference).elaborated
-    sim = Simulator(elab)
+    # One simulator lives across every calibration/measurement round, so
+    # the default lifetime cycle budget (sized for one testbench run)
+    # needs raising; the per-cycle budgets still apply.
+    sim = Simulator(elab, sim_limits=SimLimits(max_cycles=100_000_000))
     sim.step({"clk": 0, "reset": 1, "load": 0, "d": 0})
     sim.step({"clk": 1})
     sim.step({"reset": 0})

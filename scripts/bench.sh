@@ -12,10 +12,12 @@
 # simulation-engine benches (compiled vs interp throughput, verdict
 # cache) as BENCH_sim.json (override with BENCH_SIM_JSON=), and the
 # LLM-pool benches (routed vs direct overhead, tokens/trial, hedged
-# tail latency) as BENCH_llm.json (override with BENCH_LLM_JSON=), and
-# the repair-service load benchmark (p50/p99 latency, jobs/sec, shed
-# rate via scripts/loadgen.py) as BENCH_service.json (override with
-# BENCH_SERVICE_JSON=).
+# tail latency) as BENCH_llm.json (override with BENCH_LLM_JSON=), the
+# sandbox budget-check overhead (tracked vs UNTRACKED on both engines
+# and the clean corpus, <5% gate) as BENCH_sandbox.json (override with
+# BENCH_SANDBOX_JSON=), and the repair-service load benchmark (p50/p99
+# latency, jobs/sec, shed rate via scripts/loadgen.py) as
+# BENCH_service.json (override with BENCH_SERVICE_JSON=).
 #
 # The chaos (fault-injection) suite and a fuzz smoke run first: perf
 # numbers for a runtime whose failure paths are broken, or a compiler
@@ -70,6 +72,17 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
     -k "sim_" --benchmark-only \
     --benchmark-json "$sim_out"
 echo "simulation benchmark written to $sim_out"
+
+# Dedicated sandbox artifact: budget-check overhead of the tracked
+# engines vs the UNTRACKED baseline (per-engine drives plus the clean
+# corpus differential, <5% corpus gate), so the cost of the crash-proof
+# sandbox is tracked on its own across PRs.
+sandbox_out="${BENCH_SANDBOX_JSON:-BENCH_sandbox.json}"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
+    python -m pytest benchmarks/test_bench_runtime.py \
+    -k "sandbox_overhead" --benchmark-only \
+    --benchmark-json "$sandbox_out"
+echo "sandbox benchmark written to $sandbox_out"
 
 # Dedicated LLM-pool artifact: routed-vs-direct overhead and estimated
 # tokens/cost per trial, plus the hedged-tail-latency drill, so the

@@ -6,14 +6,16 @@
 # differential (warm CompileSession vs cold compile_source over the full
 # 212-sample dataset, both flavours, bit-identical), the simulator
 # differential (compiled engine vs interpreter over every corpus
-# reference, verdicts and traces bit-identical), the durable-run
-# resume smoke (run, SIGKILL, resume, compare report digests), and the
-# repair-service smoke (serve, SIGTERM drain mid-load, resume, replay
-# digest-identical).  Exits non-zero if any stage fails; later stages
-# still run so one log shows every break.
+# reference, verdicts and traces bit-identical), the sandbox gate (the
+# hostile-testbench corpus under both engines: every runaway/oscillator/
+# bomb design must come back as a typed limit/crashed verdict with both
+# engines agreeing), the durable-run resume smoke (run, SIGKILL, resume,
+# compare report digests), and the repair-service smoke (serve, SIGTERM
+# drain mid-load, resume, replay digest-identical).  Exits non-zero if
+# any stage fails; later stages still run so one log shows every break.
 #
 # Usage:
-#   scripts/ci.sh                # all eight stages
+#   scripts/ci.sh                # all nine stages
 #   FUZZ_ITERATIONS=1000 scripts/ci.sh   # deeper fuzz stage
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -39,6 +41,9 @@ python scripts/pipeline_diff.py || status=1
 
 echo "== simulator differential (compiled engine vs interp, full corpus) =="
 python scripts/sim_diff.py || status=1
+
+echo "== sandbox gate (hostile corpus, both engines, default budgets) =="
+python scripts/sandbox_gate.py || status=1
 
 echo "== resume smoke (run, kill -9, resume, compare digests) =="
 python scripts/resume_smoke.py || status=1

@@ -40,10 +40,15 @@ class SimDebugAgent:
         model: SimulatedLogicDebugger | None = None,
         max_iterations: int = 8,
         sim_samples: int = 16,
+        sim_limits=None,
     ):
         self.model = model or SimulatedLogicDebugger()
         self.max_iterations = max_iterations
         self.sim_samples = sim_samples
+        #: Sandbox budgets for every simulation this agent runs (None =
+        #: ambient default).  A runaway or trace-bombing candidate comes
+        #: back as "Simulation failed to run: ..." feedback, never a hang.
+        self.sim_limits = sim_limits
         #: Session-backed compiler: candidate edits across iterations
         #: are small, so the staged pipeline's incremental recompilation
         #: (and the whole-result cache) carry most of the work.
@@ -62,7 +67,8 @@ class SimDebugAgent:
             )
 
         feedback = make_sim_feedback(
-            compiled.elaborated, reference, samples=self.sim_samples
+            compiled.elaborated, reference, samples=self.sim_samples,
+            sim_limits=self.sim_limits,
         )
         best_code = code
         best_mismatches = feedback.mismatch_count
@@ -87,7 +93,8 @@ class SimDebugAgent:
                                "edit broke compilation; reverted")
                 continue
             candidate_feedback = make_sim_feedback(
-                compiled.elaborated, reference, samples=self.sim_samples
+                compiled.elaborated, reference, samples=self.sim_samples,
+                sim_limits=self.sim_limits,
             )
             transcript.add(
                 step.thought, "Simulator", _head(step.code),

@@ -17,8 +17,10 @@ Subcommands:
   weighted fairness, per-request deadlines, SSE progress streaming,
   and two-stage graceful drain on SIGTERM (``--run-dir``/``--resume``
   make drained results replayable);
-* ``fuzz``              -- fuzz the compiler front-end and verify its
-  never-crash/never-hang invariants (``--seed``/``--iterations``).
+* ``fuzz``              -- fuzz the compiler front-end and the
+  simulation sandbox, verifying the never-crash/never-hang invariants
+  plus the engine sandbox-differential and cache/chaos transparency
+  (``--seed``/``--iterations``).
 """
 
 from __future__ import annotations
@@ -76,6 +78,7 @@ def _cmd_fix(args: argparse.Namespace) -> int:
         llm_pool=args.llm_pool,
         llm_escalate_after=args.llm_escalate_after,
         llm_hedge=args.llm_hedge,
+        sim_limits=args.sim_limits,
     )
     counter = None
     scope = contextlib.nullcontext()
@@ -165,10 +168,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .errors import CheckpointError, RunInterrupted
     from .eval.report import ReportScale, run_full_report
     from .runtime import GracefulShutdown, atomic_write_text
-    from .sim import set_default_sim_engine
+    from .sim import set_default_sim_engine, set_default_sim_limits
 
     if args.sim_engine:
         set_default_sim_engine(args.sim_engine)
+    if args.sim_limits is not None:
+        # Process-default budgets: every simulation in the run inherits
+        # them ambiently (the report's trial keys stay budget-free the
+        # way serve's job keys stay deadline-free).
+        set_default_sim_limits(args.sim_limits)
     if args.resume and not args.run_dir:
         print("error: --resume requires --run-dir", file=sys.stderr)
         return EXIT_CHECKPOINT_MISUSE
@@ -242,7 +250,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(
         f"# sim: engine={sim['engine']}, {sim['hits']} verdict-cache hits, "
         f"{sim['misses']} misses, {sim['simulations_avoided']} testbench "
-        f"runs avoided (hit rate {sim['hit_rate']:.1%})",
+        f"runs avoided (hit rate {sim['hit_rate']:.1%}), "
+        f"limits={sim.get('limit_verdicts', 0)} "
+        f"crashed={sim.get('crashed_verdicts', 0)} "
+        f"watchdog={sim.get('watchdog_fires', 0)} "
+        f"sim-deadlines={sim.get('deadline_fires', 0)}",
         file=sys.stderr,
     )
     if report.llm:
@@ -310,6 +322,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
     from .errors import CheckpointError
 
+    if args.sim_limits is not None:
+        # Serve-side sandbox budgets are a process default, not part of
+        # per-job configs: job keys stay budget-free so journal replay
+        # works across budget changes (the deadline rationale).
+        from .sim import set_default_sim_limits
+
+        set_default_sim_limits(args.sim_limits)
     try:
         config = ServerConfig(
             host=args.host,
@@ -352,6 +371,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         injector = FaultInjector(
             seed=args.seed,
             compiler=FaultSpec(rate=args.chaos_rate, kind="garbage"),
+            # The same rate drives the simulator seam, so the fuzzer's
+            # sim-chaos-transparency invariant is exercised in one run.
+            sim=FaultSpec(rate=args.chaos_rate, kind="garbage"),
         )
     report = run_fuzz(
         FuzzConfig(
@@ -363,6 +385,28 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     )
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _sim_limits_spec(text: str):
+    """argparse type for ``--sim-limits``: a parsed SimLimits."""
+    from .sim.limits import parse_sim_limits
+
+    try:
+        return parse_sim_limits(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _add_sim_limits_arg(parser: argparse.ArgumentParser) -> None:
+    """The ``--sim-limits`` sandbox flag, shared by fix/report/serve."""
+    parser.add_argument(
+        "--sim-limits", type=_sim_limits_spec, default=None, metavar="SPEC",
+        help="simulation sandbox budgets: 'default', 'fuzz', or "
+        "comma-separated key=value overrides (keys: cycles, events, "
+        "stmts, trace-entries, trace-bytes, display, wall; e.g. "
+        "'cycles=2000,wall=5').  Budget overflows come back as typed "
+        "limit verdicts instead of hangs or crashes",
+    )
 
 
 def _add_llm_pool_args(parser: argparse.ArgumentParser) -> None:
@@ -419,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-model-call timeout budget; over-budget calls count as "
         "retryable timeouts (default: unlimited)",
     )
+    _add_sim_limits_arg(fix)
     _add_llm_pool_args(fix)
     fix.set_defaults(func=_cmd_fix)
 
@@ -488,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(the reference AST-walking 4-state interpreter); both produce "
         "bit-identical verdicts",
     )
+    _add_sim_limits_arg(rep)
     _add_llm_pool_args(rep)
     rep.set_defaults(func=_cmd_report)
 
@@ -552,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="chaos drill: dispatched jobs [START, "
                      "START+COUNT) fail as a backend outage; the service "
                      "must shed, trip the breaker, and heal via a probe")
+    _add_sim_limits_arg(srv)
     srv.set_defaults(func=_cmd_serve)
 
     fz = sub.add_parser(
@@ -570,7 +617,8 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument(
         "--chaos-rate", type=float, default=0.0, metavar="RATE",
         help="also splice chaos-harness garbage into this fraction of "
-        "inputs (0 disables the fault-injection integration)",
+        "inputs and draw simulator-seam faults at the same rate "
+        "(0 disables the fault-injection integration)",
     )
     fz.set_defaults(func=_cmd_fuzz)
     return parser

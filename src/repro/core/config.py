@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..agents.react import DEFAULT_MAX_ITERATIONS
+from ..sim.limits import SimLimits
 from ..verilog.limits import ResourceLimits
 
 
@@ -63,6 +64,14 @@ class RTLFixerConfig:
     #: feedback, so a macro-bomb candidate degrades into a not-fixed
     #: trial instead of hanging or aborting a run.
     compile_limits: Optional[ResourceLimits] = None
+    #: Sandbox budgets for every simulation the fixer runs (None =
+    #: repro.sim.limits.DEFAULT_SIM_LIMITS).  The simulation counterpart
+    #: of ``compile_limits``: budget overflows surface as typed ``limit``
+    #: verdicts in the agent's feedback instead of hangs or crashes.
+    #: Tighter budgets can change which candidates count as simulable,
+    #: so (like ``compile_limits``) this participates in the trial-key
+    #: config digest.
+    sim_limits: Optional[SimLimits] = None
     #: Durable-run directory (repro.runtime.RunState): every completed
     #: trial is journaled there the moment it finishes, so a killed run
     #: resumes by replaying the journal and dispatching only the
@@ -127,6 +136,12 @@ class RTLFixerConfig:
         ):
             raise ValueError(
                 "compile_limits must be a ResourceLimits instance or None"
+            )
+        if self.sim_limits is not None and not isinstance(
+            self.sim_limits, SimLimits
+        ):
+            raise ValueError(
+                "sim_limits must be a SimLimits instance or None"
             )
         if self.breaker_threshold < 0:
             raise ValueError(

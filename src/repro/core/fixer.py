@@ -129,8 +129,18 @@ class RTLFixer:
         :class:`~repro.errors.DeadlineExceededError` once the budget is
         gone.  An already-scoped ambient deadline (the repair service's
         per-request budget) is left in place -- the config knob only
-        fills the gap for batch callers.
+        fills the gap for batch callers.  ``config.sim_limits``
+        similarly scopes ambient sandbox budgets over the run, so every
+        simulation the repair triggers is resource-bounded.
         """
+        if self.config.sim_limits is not None:
+            from ..sim.limits import use_sim_limits
+
+            with use_sim_limits(self.config.sim_limits):
+                return self._fix_under_deadline(code, description)
+        return self._fix_under_deadline(code, description)
+
+    def _fix_under_deadline(self, code: str, description: str) -> AgentResult:
         if self.config.deadline_s is not None:
             from ..service.deadline import current_deadline
 

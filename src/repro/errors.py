@@ -49,6 +49,41 @@ class SimulationError(ReproError):
     """
 
 
+class SimLimitExceeded(SimulationError):
+    """A cooperative simulation budget ran out
+    (:class:`repro.sim.limits.SimLimits`).
+
+    The simulator-side analogue of :class:`ResourceLimitExceeded`: it
+    derives :class:`SimulationError` so every existing handler still
+    degrades it into an ordinary failed verdict, while the sandbox
+    boundary (:mod:`repro.sim.sandbox`) distinguishes it from genuine
+    simulation failures and classifies the outcome as a typed ``limit``
+    verdict (vs. ``crashed`` for internal errors).
+
+    ``kind`` names the exhausted budget (``"simulated cycles"``,
+    ``"sim events"``, ``"stmt executions"``, ``"trace entries"``,
+    ``"trace bytes"``, ``"display lines"``, ``"wall clock"``, ``"settle
+    passes"``); ``phase`` says where in the run it fired (``construct``,
+    ``cycle``, ``trace``).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        limit: float,
+        message: str | None = None,
+        phase: str = "",
+    ):
+        super().__init__(
+            message
+            if message is not None
+            else f"simulation {kind} limit ({limit}) exceeded"
+        )
+        self.kind = kind
+        self.limit = limit
+        self.phase = phase
+
+
 class DatasetError(ReproError):
     """A dataset could not be built or loaded (bad problem id, corpus
     inconsistency, failed error injection)."""

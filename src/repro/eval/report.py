@@ -35,6 +35,7 @@ from ..runtime import (
     use_token_counter,
 )
 from ..sim.engine import get_default_sim_engine
+from ..sim.sandbox import SandboxStats, use_sandbox_stats
 from ..sim.verdict import VerdictCache, use_verdict_cache
 from .experiments import (
     PAPER_TABLE1,
@@ -95,9 +96,11 @@ class FullReport:
     #: :class:`~repro.runtime.StageCache`.  Runtime telemetry --
     #: excluded from ``to_json`` like ``cache``/``breaker``/``resume``.
     pipeline: dict = field(default_factory=dict)
-    #: Simulation telemetry: the active engine plus the run's
-    #: verdict-cache counters (hits = whole testbench runs skipped).
-    #: Runtime telemetry -- excluded from ``to_json`` like the rest.
+    #: Simulation telemetry: the active engine, the run's verdict-cache
+    #: counters (hits = whole testbench runs skipped), and the sandbox
+    #: counters (limit/crashed verdicts, watchdog and mid-simulation
+    #: deadline fires, chaos faults).  Runtime telemetry -- excluded
+    #: from ``to_json`` like the rest.
     sim: dict = field(default_factory=dict)
     #: LLM pool telemetry (routing description plus the run's
     #: TokenCounter ledger: per-backend tokens, cost, throttles,
@@ -249,10 +252,12 @@ def run_full_report(
     cache = CompileCache()
     stage_cache = StageCache()
     verdict_cache = VerdictCache()
+    sandbox_stats = SandboxStats()
     llm_counter = TokenCounter()
     try:
         with use_compile_cache(cache), use_stage_cache(stage_cache), \
                 use_verdict_cache(verdict_cache), use_llm_routing(routing), \
+                use_sandbox_stats(sandbox_stats), \
                 use_token_counter(llm_counter):
             report = _run_experiments(scale, dataset, progress, jobs, on_error, ctx)
         report.cache = cache.stats.as_dict()
@@ -260,6 +265,7 @@ def run_full_report(
         report.sim = {
             "engine": get_default_sim_engine(),
             **verdict_cache.stats.as_dict(),
+            **sandbox_stats.as_dict(),
         }
         report.resume = ctx.stats()
         report.rendered["cache"] = "\n".join(

@@ -85,9 +85,11 @@ from .executor import (
 from .fuzz import (
     MUTATORS,
     SEED_CORPUS,
+    SIM_MUTATORS,
     FuzzConfig,
     FuzzFailure,
     FuzzReport,
+    StimulusPlan,
     run_fuzz,
 )
 from .faults import (
@@ -97,6 +99,8 @@ from .faults import (
     ChaosRepairModel,
     FaultInjector,
     FaultSpec,
+    get_active_sim_injector,
+    use_sim_chaos,
 )
 from .retry import (
     RetryingCompiler,
@@ -170,7 +174,11 @@ __all__ = [
     "RetryingCompiler",
     "RetryingLLMClient",
     "RetryingRepairModel",
+    "SIM_MUTATORS",
+    "StimulusPlan",
     "WorkFailure",
+    "get_active_sim_injector",
+    "use_sim_chaos",
     "cached_compile",
     "call_with_retry",
     "compile_key",

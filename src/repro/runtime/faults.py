@@ -3,8 +3,9 @@
 The retry/isolation machinery in this package is only trustworthy if
 its failure paths are *testable*, and failure paths are only testable if
 faults are reproducible.  This module injects configurable faults into
-the LLM and compiler seams, keyed by an explicit seed plus the call's
-content -- never by wall-clock or global call order -- so:
+the LLM, compiler and simulation-sandbox seams, keyed by an explicit
+seed plus the call's content -- never by wall-clock or global call
+order -- so:
 
 * the same seed always faults the same work units, regardless of job
   count or backend (serial, thread, process);
@@ -34,6 +35,7 @@ the agent loop rather than the retry layer.
 from __future__ import annotations
 
 import hashlib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Literal, Optional
 
@@ -91,16 +93,22 @@ class FaultInjector:
     """Draws deterministic fault decisions for named seams.
 
     Seams: ``llm`` (``RepairModel.start`` / ``step``), ``client``
-    (``LLMClient.complete``) and ``compiler`` (``Compiler.compile``).
+    (``LLMClient.complete``), ``compiler`` (``Compiler.compile``) and
+    ``sim`` (the simulation-sandbox harnesses ``run_differential`` /
+    ``make_sim_feedback``, sites ``sim.diff`` and ``sim.feedback``).
     The decision for a call is a pure function of ``(seed, site, key)``;
     only transient-recovery counting is stateful (per injector instance,
-    which is exactly the retry loop's scope).
+    which is exactly the retry loop's scope).  Simulation fault keys
+    deliberately exclude the engine name so both engines draw the same
+    fault for the same work -- the fuzz sandbox-differential invariant
+    depends on that.
     """
 
     seed: int = 0
     llm: Optional[FaultSpec] = None
     client: Optional[FaultSpec] = None
     compiler: Optional[FaultSpec] = None
+    sim: Optional[FaultSpec] = None
     #: (site, key) -> number of faults already raised (transient bookkeeping).
     _raised: dict = field(default_factory=dict, repr=False, compare=False)
 
@@ -138,6 +146,31 @@ class FaultInjector:
         if kind == "timeout":
             raise LLMTimeoutError(f"injected timeout at {site} (key {key})")
         return kind
+
+
+#: Ambient injector consulted by the simulation harnesses.  The LLM and
+#: compiler seams wrap concrete objects, but the sim harnesses are plain
+#: functions called from deep inside agents -- an ambient scope (the
+#: same idiom as the verdict cache) reaches them without threading an
+#: injector through every signature.
+_active_sim_injector: Optional[FaultInjector] = None
+
+
+def get_active_sim_injector() -> Optional[FaultInjector]:
+    """The injector the simulation harnesses should consult, if any."""
+    return _active_sim_injector
+
+
+@contextmanager
+def use_sim_chaos(injector: Optional[FaultInjector]):
+    """Scope ``injector`` as the ambient simulation-fault source."""
+    global _active_sim_injector
+    previous = _active_sim_injector
+    _active_sim_injector = injector
+    try:
+        yield injector
+    finally:
+        _active_sim_injector = previous
 
 
 class ChaosRepairModel:

@@ -30,6 +30,20 @@ cross-checks the invariants the rest of the system relies on:
    compiled :class:`~repro.sim.engine.CompiledSimulator`; per-signal
    state, memories, ``$display`` logs and raised
    :class:`~repro.errors.SimulationError` messages must be identical.
+   Simulation-oriented mutators (:data:`SIM_MUTATORS`) additionally
+   perturb the stimulus shape -- cycle-count scaling, extra X-injection
+   cycles, random bit flips -- so the check covers more than the default
+   4-step schedule;
+7. **sandbox differential** -- both engines run under the tight
+   :data:`~repro.sim.limits.FUZZ_SIM_LIMITS` sandbox budgets and must
+   agree on the sandbox *category* (``ok``/``fail``/``limit``/
+   ``crashed``) and on the exhausted budget kind (runs cut off by the
+   nondeterministic wall-clock watchdog are exempt from comparison);
+8. **sim-cache / sim-chaos transparency** -- on a deterministic
+   subsample, the differential testbench is run twice against a fresh
+   :class:`~repro.sim.verdict.VerdictCache`: repeated verdicts must
+   agree, ``limit``/``crashed``/chaos-injected verdicts must never be
+   memoized, and an injected simulator fault must leave the cache empty.
 
 Determinism is the backbone: iteration ``i`` of seed ``s`` derives all
 randomness from ``random.Random(f"fuzz|{s}|{i}")``, so a failing
@@ -48,7 +62,7 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from random import Random
 from typing import Callable, Optional
 
@@ -197,6 +211,61 @@ _CACHE_CHECK_EVERY = 7
 
 
 @dataclass(frozen=True)
+class StimulusPlan:
+    """Shape of one simulator-differential run's stimulus.
+
+    Derived per iteration from the seeded sim RNG by the simulation
+    mutators (:data:`SIM_MUTATORS`); a pure value so a failing iteration
+    replays bit-identically.
+    """
+
+    #: Clock/evaluation steps to drive.
+    steps: int = 4
+    #: Cycles whose every input is driven all-X (fast-path demotion).
+    x_cycles: tuple[int, ...] = (2,)
+    #: Random single-bit flips applied to the drawn vectors.
+    perturb: int = 0
+
+
+SimMutator = Callable[[Random, StimulusPlan], StimulusPlan]
+
+
+def _sim_mut_cycle_scale(rng: Random, plan: StimulusPlan) -> StimulusPlan:
+    """Scale the driven cycle count up (testbench cycle-count scaling)."""
+    return replace(plan, steps=min(64, plan.steps * rng.choice((2, 4, 8))))
+
+
+def _sim_mut_x_inject(rng: Random, plan: StimulusPlan) -> StimulusPlan:
+    """Drive all inputs X on an extra random cycle."""
+    extra = rng.randrange(max(plan.steps, 1))
+    return replace(plan, x_cycles=tuple(sorted(set(plan.x_cycles) | {extra})))
+
+
+def _sim_mut_stim_perturb(rng: Random, plan: StimulusPlan) -> StimulusPlan:
+    """Flip a few random stimulus bits after the base vectors are drawn."""
+    return replace(plan, perturb=plan.perturb + rng.randint(1, 4))
+
+
+#: Simulation-oriented mutator registry (stimulus perturbation, cycle
+#: scaling, X injection); names land in ``mutator_counts``.
+SIM_MUTATORS: dict[str, SimMutator] = {
+    "sim_cycle_scale": _sim_mut_cycle_scale,
+    "sim_stim_perturb": _sim_mut_stim_perturb,
+    "sim_x_inject": _sim_mut_x_inject,
+}
+
+
+def _derive_sim_plan(rng: Random) -> tuple[StimulusPlan, tuple[str, ...]]:
+    """Draw 0-2 simulation mutators and fold them into a plan."""
+    plan = StimulusPlan()
+    names = sorted(SIM_MUTATORS)
+    picked = tuple(rng.choice(names) for _ in range(rng.randint(0, 2)))
+    for name in picked:
+        plan = SIM_MUTATORS[name](rng, plan)
+    return plan, picked
+
+
+@dataclass(frozen=True)
 class FuzzConfig:
     """Parameters of one fuzzing run."""
 
@@ -319,14 +388,18 @@ def _verdict(result) -> str:
 
 def _fuzz_one(
     config: FuzzConfig, iteration: int
-) -> tuple[str, dict[str, str], tuple[str, ...]]:
-    """Derive iteration ``iteration``'s input: (code, includes, mutations).
+) -> tuple[str, dict[str, str], tuple[str, ...], str]:
+    """Derive iteration ``iteration``'s input:
+    (code, includes, mutations, base snippet).
 
     Pure function of (seed, iteration) -- this is what makes any failing
-    iteration individually replayable.
+    iteration individually replayable.  ``base`` is the unmutated corpus
+    snippet the input was derived from; the sandbox differential falls
+    back to it when the mutated input no longer elaborates.
     """
     rng = Random(f"fuzz|{config.seed}|{iteration}")
-    code = rng.choice(SEED_CORPUS)
+    base = rng.choice(SEED_CORPUS)
+    code = base
     includes: dict[str, str] = {}
     names = sorted(MUTATORS)
     picked = tuple(
@@ -340,83 +413,174 @@ def _fuzz_one(
         )
         if kind == "garbage":
             code = GARBAGE_CODE + "\n" + code
-    return code, includes, picked
+    return code, includes, picked, base
 
 
-#: Steps driven per simulator-differential check; cycle 2 drives all-X
-#: stimulus so mid-run X contamination (and the compiled engine's bail +
-#: reinterpret machinery) is exercised on every checked design.
-_SIM_DIFF_STEPS = 4
+def _compare_sandbox_verdicts(verdicts: dict, where: str) -> Optional[tuple[str, str]]:
+    """Compare per-engine sandbox verdicts; a failure is a
+    ``(invariant, detail)`` pair.  Wall-clock watchdog cutoffs are the
+    one nondeterministic budget, so either engine hitting one exempts
+    the comparison."""
+    if any(v.kind == "wall clock" for v in verdicts.values()):
+        return None
+    if set(verdicts) != {"interp", "compiled"}:
+        missing = "interp" if "interp" in verdicts else "compiled"
+        only = verdicts.get("interp") or verdicts.get("compiled")
+        return (
+            "sandbox-differential",
+            f"only {missing} left the sandbox at {where}: {only.summary()}",
+        )
+    iv, cv = verdicts["interp"], verdicts["compiled"]
+    if (iv.category, iv.kind) != (cv.category, cv.kind):
+        return (
+            "sandbox-differential",
+            f"categories differ at {where}: interp={iv.summary()!r} "
+            f"compiled={cv.summary()!r}",
+        )
+    if iv.category == "fail" and iv.detail != cv.detail:
+        return (
+            "simulator-differential",
+            f"{where} errors differ: interp={iv.detail!r} "
+            f"compiled={cv.detail!r}",
+        )
+    return None
 
 
-def _sim_differential(design, limits, rng: Random) -> Optional[str]:
+def _sim_differential(
+    design, limits, rng: Random, plan: Optional[StimulusPlan] = None
+) -> Optional[tuple[str, str]]:
     """Cross-check interpreted vs compiled simulation of ``design``.
 
-    Returns a failure detail string, or None when both engines agree
-    (including agreeing on any raised :class:`SimulationError`).
+    Both engines run under :data:`~repro.sim.limits.FUZZ_SIM_LIMITS`
+    with a fresh budget tracker each.  Returns ``None`` when the engines
+    agree, or an ``(invariant, detail)`` pair: ``sandbox-differential``
+    when the sandbox categories/kinds diverge, ``simulator-differential``
+    when state, memories, display logs or failure messages do.
     """
-    from ..errors import SimulationError
     from ..sim.engine import CompiledSimulator
+    from ..sim.limits import FUZZ_SIM_LIMITS
+    from ..sim.sandbox import classify_exception, run_sandboxed
     from ..sim.simulator import Simulator
     from ..sim.values import Logic
 
+    plan = plan if plan is not None else StimulusPlan()
+
     sims = {}
-    errors = {}
+    verdicts = {}
     for name, cls in (("interp", Simulator), ("compiled", CompiledSimulator)):
-        try:
-            sims[name] = cls(design, limits=limits)
-        except SimulationError as exc:
-            errors[name] = str(exc)
-    if errors:
-        if set(errors) != {"interp", "compiled"}:
-            missing = "interp" if "interp" in errors else "compiled"
-            return (
-                f"only {missing} raised at construction: "
-                f"{errors.get('interp') or errors.get('compiled')}"
-            )
-        if errors["interp"] != errors["compiled"]:
-            return (
-                f"construction errors differ: interp={errors['interp']!r} "
-                f"compiled={errors['compiled']!r}"
-            )
-        return None
+        sim, verdict = run_sandboxed(
+            lambda c=cls: c(design, limits=limits, sim_limits=FUZZ_SIM_LIMITS),
+            name,
+        )
+        if verdict is not None:
+            verdicts[name] = verdict
+        else:
+            sims[name] = sim
+    if verdicts:
+        return _compare_sandbox_verdicts(verdicts, "construction")
+
     interp, compiled = sims["interp"], sims["compiled"]
     ports = interp.inputs
-    for cycle in range(_SIM_DIFF_STEPS):
+    stim_seq: list[dict] = []
+    for cycle in range(plan.steps):
         stimulus: dict = {}
         for port in ports:
-            if cycle == 2:
+            if cycle in plan.x_cycles:
                 stimulus[port.name] = Logic.all_x(port.width)
             else:
                 stimulus[port.name] = rng.getrandbits(port.width)
-        step_errors = {}
+        stim_seq.append(stimulus)
+    int_slots = [
+        (cycle, port)
+        for cycle, stimulus in enumerate(stim_seq)
+        for port in ports
+        if isinstance(stimulus[port.name], int)
+    ]
+    for _ in range(plan.perturb if int_slots else 0):
+        cycle, port = int_slots[rng.randrange(len(int_slots))]
+        stim_seq[cycle][port.name] ^= 1 << rng.randrange(max(port.width, 1))
+
+    for cycle, stimulus in enumerate(stim_seq):
+        step_verdicts = {}
         for name, sim in (("interp", interp), ("compiled", compiled)):
-            try:
-                sim.step(dict(stimulus))
-            except SimulationError as exc:
-                step_errors[name] = str(exc)
-        if step_errors:
-            if set(step_errors) != {"interp", "compiled"}:
-                missing = "interp" if "interp" in step_errors else "compiled"
-                return f"only {missing} raised at step {cycle}"
-            if step_errors["interp"] != step_errors["compiled"]:
-                return (
-                    f"step {cycle} errors differ: "
-                    f"interp={step_errors['interp']!r} "
-                    f"compiled={step_errors['compiled']!r}"
-                )
-            return None
+            _, verdict = run_sandboxed(
+                lambda s=sim: s.step(dict(stimulus)), name
+            )
+            if verdict is not None:
+                step_verdicts[name] = verdict
+        if step_verdicts:
+            violation = _compare_sandbox_verdicts(step_verdicts, f"step {cycle}")
+            return violation
         if dict(interp.state.values) != dict(compiled.state.values):
             diverged = sorted(
                 name
                 for name, value in interp.state.values.items()
                 if compiled.state.values.get(name) != value
             )
-            return f"state diverged at step {cycle}: {diverged[:4]}"
+            return (
+                "simulator-differential",
+                f"state diverged at step {cycle}: {diverged[:4]}",
+            )
         if interp.state.arrays != compiled.state.arrays:
-            return f"memories diverged at step {cycle}"
+            return ("simulator-differential", f"memories diverged at step {cycle}")
         if interp.display_log != compiled.display_log:
-            return f"$display logs diverged at step {cycle}"
+            return (
+                "simulator-differential", f"$display logs diverged at step {cycle}"
+            )
+    return None
+
+
+def _sim_cache_check(design, injector) -> Optional[tuple[str, str]]:
+    """Run the sandboxed differential testbench twice against a fresh
+    verdict cache (with any configured chaos injector scoped in) and
+    check the memoization rules: repeated verdicts agree, uncacheable
+    (``limit``/``crashed``/injected) verdicts are never stored, and an
+    injected raising fault leaves the cache empty."""
+    from ..errors import TransientError
+    from ..sim.limits import FUZZ_SIM_LIMITS
+    from ..sim.testbench import run_differential
+    from ..sim.verdict import VerdictCache, use_verdict_cache
+    from .faults import use_sim_chaos
+
+    sim_cache = VerdictCache()
+    with use_verdict_cache(sim_cache), use_sim_chaos(injector):
+        try:
+            first = run_differential(
+                design, design, samples=4, sim_limits=FUZZ_SIM_LIMITS
+            )
+            second = run_differential(
+                design, design, samples=4, sim_limits=FUZZ_SIM_LIMITS
+            )
+        except TransientError:
+            # An injected simulator fault raised; nothing may have been
+            # memoized on the way out.
+            if len(sim_cache):
+                return (
+                    "sim-chaos-transparency",
+                    "injected sim fault left entries in the verdict cache",
+                )
+            return None
+    injected = (first.verdict is not None and first.verdict.injected) or (
+        second.verdict is not None and second.verdict.injected
+    )
+    if not injected:
+        first_cat = first.verdict.category if first.verdict else None
+        second_cat = second.verdict.category if second.verdict else None
+        if (first.passed, first_cat) != (second.passed, second_cat):
+            return (
+                "sim-cache-transparency",
+                f"repeated verdicts differ: ({first.passed}, {first_cat}) "
+                f"!= ({second.passed}, {second_cat})",
+            )
+    uncacheable = all(
+        result.verdict is None or not result.verdict.cacheable
+        for result in (first, second)
+    )
+    if uncacheable and len(sim_cache):
+        return (
+            "sim-cache-transparency",
+            "uncacheable (limit/crashed/injected) verdict was memoized",
+        )
     return None
 
 
@@ -448,9 +612,14 @@ def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
     # exercised against maximally hostile sources.
     session = CompileSession(limits=config.limits)
     stage_cache = StageCache()
+    # Mutated inputs rarely survive elaboration, so the sandbox
+    # differential would starve if it only ran on them.  Each corpus
+    # snippet's clean design is compiled once and reused as the
+    # fallback simulation target (None = snippet itself is broken).
+    base_designs: dict[str, object] = {}
 
     for iteration in range(config.iterations):
-        code, includes, picked = _fuzz_one(config, iteration)
+        code, includes, picked, base = _fuzz_one(config, iteration)
         label = "+".join(picked)
         report.mutations.append(label)
         for name in picked:
@@ -518,15 +687,27 @@ def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
         except BaseException as exc:
             fail("no-exception", f"session path: {type(exc).__name__}: {exc}")
 
-        if iv.ok and iv.elaborated is not None:
-            try:
-                detail = _sim_differential(
-                    iv.elaborated,
-                    config.limits,
-                    Random(f"simdiff|{config.seed}|{iteration}"),
+        design = iv.elaborated if iv.ok else None
+        if design is None:
+            if base not in base_designs:
+                base_result = compile_source(base, limits=config.limits)
+                base_designs[base] = (
+                    base_result.elaborated if base_result.ok else None
                 )
-                if detail is not None:
-                    fail("simulator-differential", detail)
+            design = base_designs[base]
+        if design is not None:
+            sim_rng = Random(f"simdiff|{config.seed}|{iteration}")
+            plan, sim_picked = _derive_sim_plan(sim_rng)
+            for name in sim_picked:
+                report.mutator_counts[name] = (
+                    report.mutator_counts.get(name, 0) + 1
+                )
+            try:
+                violation = _sim_differential(
+                    design, config.limits, sim_rng, plan
+                )
+                if violation is not None:
+                    fail(*violation)
             except BaseException as exc:
                 fail(
                     "no-exception",
@@ -557,6 +738,21 @@ def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
                     )
             except BaseException as exc:
                 fail("no-exception", f"cache path: {type(exc).__name__}: {exc}")
+
+        if (
+            iteration % _CACHE_CHECK_EVERY == 3
+            and iv.ok
+            and iv.elaborated is not None
+        ):
+            try:
+                violation = _sim_cache_check(iv.elaborated, config.injector)
+                if violation is not None:
+                    fail(*violation)
+            except BaseException as exc:
+                fail(
+                    "no-exception",
+                    f"sim cache path: {type(exc).__name__}: {exc}",
+                )
 
     report.elapsed = time.monotonic() - start
     return report

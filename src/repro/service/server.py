@@ -43,7 +43,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import DeadlineExceededError, RetryExhaustedError, TransientError
+from ..errors import (
+    DeadlineExceededError,
+    RetryExhaustedError,
+    SimulationError,
+    TransientError,
+)
 from ..runtime.breaker import CircuitBreaker
 from ..runtime.checkpoint import RunState, config_digest, content_digest, unit_key
 from ..runtime.shutdown import GracefulShutdown
@@ -329,6 +334,20 @@ class RepairServer:
                 )
                 continue
             except RetryExhaustedError as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure(exc, probe=job.probe)
+                self._finish(
+                    job,
+                    error_response(
+                        job.job_id, tenant, type(exc).__name__, str(exc)
+                    ),
+                )
+                continue
+            except SimulationError as exc:
+                # Sandbox outcomes that escape the repair flow (budget
+                # overflow, settle divergence) are *typed* errors, not
+                # crashes: the client gets the classification, and the
+                # breaker counts it like any other backend failure.
                 if self.breaker is not None:
                     self.breaker.record_failure(exc, probe=job.probe)
                 self._finish(

@@ -11,9 +11,41 @@ per-invocation fallback to the interpreter (see :mod:`repro.sim.compile`).
 :func:`~repro.sim.engine.make_simulator` selects between them; whole
 testbench verdicts are memoized content-addressed in
 :mod:`repro.sim.verdict`.
+
+Both engines run inside the crash-proof, resource-bounded sandbox:
+:mod:`repro.sim.limits` defines the cooperative budget set
+(:class:`~repro.sim.limits.SimLimits`) and :mod:`repro.sim.sandbox` the
+never-crash boundary that converts budget overflows and internal errors
+into typed ``limit``/``crashed`` :class:`~repro.sim.sandbox.SimVerdict`
+outcomes instead of exceptions.
 """
 
 from .compile import LoweredDesign, Unlowerable, lower_design, lowered_for
+from .limits import (
+    DEFAULT_SIM_LIMITS,
+    FUZZ_SIM_LIMITS,
+    UNTRACKED,
+    BoundedDisplayLog,
+    SimLimits,
+    SimLimitTracker,
+    get_default_sim_limits,
+    parse_sim_limits,
+    set_default_sim_limits,
+    use_sim_limits,
+)
+from .sandbox import (
+    DEFAULT_SANDBOX_STATS,
+    SIM_VERDICT_CATEGORIES,
+    SandboxStats,
+    SimOutcome,
+    SimVerdict,
+    classify_exception,
+    get_active_sandbox_stats,
+    run_sandboxed,
+    set_active_sandbox_stats,
+    simulate,
+    use_sandbox_stats,
+)
 from .engine import (
     SIM_ENGINES,
     CompiledSimulator,
@@ -48,9 +80,20 @@ from .verdict import (
 )
 
 __all__ = [
+    "BoundedDisplayLog",
     "CLOCK_NAMES",
     "CompiledSimulator",
+    "DEFAULT_SANDBOX_STATS",
+    "DEFAULT_SIM_LIMITS",
     "DEFAULT_VERDICT_CACHE",
+    "FUZZ_SIM_LIMITS",
+    "SIM_VERDICT_CATEGORIES",
+    "SandboxStats",
+    "SimLimitTracker",
+    "SimLimits",
+    "SimOutcome",
+    "SimVerdict",
+    "UNTRACKED",
     "EvalContext",
     "Evaluator",
     "Logic",
@@ -69,21 +112,31 @@ __all__ = [
     "VerdictCache",
     "VerdictStats",
     "check_interface",
+    "classify_exception",
     "dump_comparison_vcd",
     "dump_vcd",
+    "get_active_sandbox_stats",
     "get_active_verdict_cache",
     "get_default_sim_engine",
+    "get_default_sim_limits",
     "lower_design",
     "lowered_for",
     "make_sim_feedback",
     "make_simulator",
     "no_verdict_cache",
+    "parse_sim_limits",
     "render_comparison",
     "render_waveform",
     "run_differential",
+    "run_sandboxed",
+    "set_active_sandbox_stats",
     "set_active_verdict_cache",
     "set_default_sim_engine",
+    "set_default_sim_limits",
+    "simulate",
     "simulate_with_traces",
+    "use_sandbox_stats",
+    "use_sim_limits",
     "use_verdict_cache",
     "verdict_key",
 ]

@@ -35,12 +35,13 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-from ..errors import SimulationError
+from ..errors import SimLimitExceeded, SimulationError
 from ..verilog.elaborate import ElabDesign
 from ..verilog.limits import ResourceLimits
 from .compile import LoweredDesign, lowered_for
 from .eval import Evaluator
 from .exec import NbaUpdate, StmtExecutor
+from .limits import SimLimits, SimLimitTracker
 from .simulator import Simulator, _edge_fired
 from .values import Logic
 
@@ -192,14 +193,27 @@ class CompiledSimulator(Simulator):
         interpreter's snapshot-compare settle."""
         values = self.state.values
         budget = self.limits.max_settle_passes
+        tracker = self.sim_tracker
+        passes = 0
         for _ in range(budget):
             values.begin_pass()
             self._comb_pass()
+            passes += 1
             if not values.changed():
+                # Same bulk charge as the interpreter (one event per
+                # process evaluation per pass, settled pass counts are
+                # identical), so both engines exhaust identically.
+                if tracker is not None:
+                    tracker.events_left -= passes * self._n_comb_ops
+                    if tracker.events_left < 0:
+                        tracker.charge_events(0)  # raises "sim events"
                 return
-        raise SimulationError(
-            "combinational logic did not settle after "
-            f"{budget} passes (loop? raise max_settle_passes if legitimate)"
+        raise SimLimitExceeded(
+            "settle passes",
+            budget,
+            message="combinational logic did not settle after "
+            f"{budget} passes (loop? raise max_settle_passes if legitimate)",
+            phase=getattr(self.sim_tracker, "phase", ""),
         )
 
     # -- clock region -----------------------------------------------------
@@ -226,6 +240,10 @@ class CompiledSimulator(Simulator):
         return sampled
 
     def step(self, inputs=None) -> None:
+        tracker = self.sim_tracker
+        if tracker is not None:
+            tracker.phase = "cycle"
+            tracker.begin_cycle()
         if inputs:
             values = self.state.values
             ports = self._input_ports
@@ -250,6 +268,8 @@ class CompiledSimulator(Simulator):
                 if _edge_fired_fast(edge, old, new):
                     triggered.append(pi)
                     break
+        if tracker is not None and triggered:
+            tracker.charge_events(len(triggered))
         nba: list[NbaUpdate] = []
         values = self.state.values
         arrays = self.state.arrays
@@ -319,14 +339,21 @@ def make_simulator(
     top: Optional[str] = None,
     engine: Optional[str] = None,
     limits: Optional[ResourceLimits] = None,
+    sim_limits: Optional[SimLimits] = None,
+    sim_tracker: Optional[SimLimitTracker] = None,
 ) -> Simulator:
     """Construct a simulator using ``engine`` (default: the process-wide
     default, normally ``compiled``).  Every harness routes through this
-    so one flag switches the whole stack."""
+    so one flag switches the whole stack.  ``sim_limits``/``sim_tracker``
+    configure the sandbox budgets (see :mod:`repro.sim.limits`); a
+    shared tracker pools budgets across several simulators."""
     chosen = engine if engine is not None else _DEFAULT_ENGINE
     if chosen not in SIM_ENGINES:
         raise ValueError(
             f"unknown sim engine {chosen!r}; expected one of {SIM_ENGINES}"
         )
     cls = CompiledSimulator if chosen == "compiled" else Simulator
-    return cls(design, top=top, limits=limits)
+    return cls(
+        design, top=top, limits=limits,
+        sim_limits=sim_limits, sim_tracker=sim_tracker,
+    )

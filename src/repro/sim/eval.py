@@ -46,6 +46,12 @@ class EvalContext:
     #: natural_width memo keyed by AST node id (module-level exprs only;
     #: the AST is held alive by the design, so ids are stable).
     width_cache: dict[int, int] = field(default_factory=dict)
+    #: The owning simulator's :class:`~repro.sim.limits.SimLimitTracker`
+    #: (None when untracked).  Carried on the context so every
+    #: :class:`~repro.sim.exec.StmtExecutor` -- including the ones
+    #: spawned for function calls and compiled-engine fallbacks --
+    #: inherits the same budgets without per-callsite threading.
+    tracker: object = None
 
     def flat(self, name: str) -> str:
         return self.prefix + name

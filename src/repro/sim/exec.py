@@ -16,12 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..errors import SimulationError
+from ..errors import SimLimitExceeded, SimulationError
 from ..verilog import ast
 from ..verilog.elaborate import const_eval
 from .eval import EvalContext, Evaluator, _decl_width
 from .values import Logic
 
+#: Fallback per-executor statement budget when the owning context has no
+#: :class:`~repro.sim.limits.SimLimitTracker` (tracked simulators use
+#: ``SimLimits.max_stmt_executions`` instead).
 _LOOP_BUDGET = 200_000
 
 
@@ -102,14 +105,30 @@ class StmtExecutor:
         self.in_function = in_function
         #: $display output sink (None = discard).
         self.display = display
-        self._budget = _LOOP_BUDGET
+        #: Budgets come from the owning simulator's tracker when present
+        #: (and then include the periodic wall-clock watchdog poll).
+        self.tracker = getattr(ctx, "tracker", None)
+        self._budget_limit = (
+            self.tracker.limits.max_stmt_executions
+            if self.tracker is not None
+            else _LOOP_BUDGET
+        )
+        self._budget = self._budget_limit
 
     # -- statement dispatch ------------------------------------------------
 
     def exec_stmt(self, stmt: ast.Stmt) -> None:
-        self._budget -= 1
-        if self._budget < 0:
-            raise SimulationError("procedural loop budget exceeded (runaway loop?)")
+        budget = self._budget - 1
+        self._budget = budget
+        if budget < 0:
+            raise SimLimitExceeded(
+                "stmt executions",
+                self._budget_limit,
+                message="procedural loop budget exceeded (runaway loop?)",
+                phase=getattr(self.tracker, "phase", ""),
+            )
+        if budget & 4095 == 0 and self.tracker is not None:
+            self.tracker.tick()
         if isinstance(stmt, ast.NullStmt):
             return
         if isinstance(stmt, ast.Block):

@@ -15,7 +15,14 @@ from typing import Optional
 from ..verilog.elaborate import ElabDesign
 from ..verilog.limits import ResourceLimits
 from .engine import get_default_sim_engine, make_simulator
-from .testbench import CLOCK_NAMES, RESET_NAMES, _random_vector
+from .limits import (
+    UNTRACKED,
+    SimLimits,
+    SimLimitTracker,
+    get_default_sim_limits,
+)
+from .sandbox import SimVerdict, run_sandboxed
+from .testbench import CLOCK_NAMES, RESET_NAMES, _chaos_verdict, _random_vector
 from .trace import Trace, render_comparison
 from .values import Logic
 from .verdict import get_active_verdict_cache, verdict_key
@@ -28,6 +35,10 @@ class SimFeedback:
     mismatch_count: int
     samples: int
     text: str
+    #: Sandbox classification of the underlying run; ``limit``/``crashed``
+    #: feedback is still feedback (the agent sees the reason as text) but
+    #: is never memoized.
+    verdict: Optional[SimVerdict] = None
 
     @property
     def passed(self) -> bool:
@@ -41,11 +52,34 @@ def simulate_with_traces(
     seed: int = 0,
     engine: Optional[str] = None,
     limits: Optional[ResourceLimits] = None,
+    sim_limits: Optional[SimLimits] = None,
+    sim_tracker: Optional[SimLimitTracker] = None,
 ) -> tuple[Trace, Trace]:
-    """Run both designs on identical stimulus, tracing every output."""
-    cand_sim = make_simulator(candidate, engine=engine, limits=limits)
-    ref_sim = make_simulator(reference, engine=engine, limits=limits)
+    """Run both designs on identical stimulus, tracing every output.
+
+    Both simulators and both traces share one
+    :class:`~repro.sim.limits.SimLimitTracker` budget pool (pass
+    ``sim_tracker`` to supply it), so trace bombs are stopped by the
+    trace-entry/byte budgets rather than by memory exhaustion.
+    """
+    effective_sim = sim_limits if sim_limits is not None else get_default_sim_limits()
+    tracker = sim_tracker
+    if tracker is None and effective_sim is not UNTRACKED:
+        tracker = SimLimitTracker(effective_sim)
+    cand_sim = make_simulator(
+        candidate, engine=engine, limits=limits,
+        sim_limits=effective_sim, sim_tracker=tracker,
+    )
+    ref_sim = make_simulator(
+        reference, engine=engine, limits=limits,
+        sim_limits=effective_sim, sim_tracker=tracker,
+    )
     rng = random.Random(seed)
+
+    # Lazy: the service package sits above the sim package.
+    from ..service.deadline import current_deadline
+
+    deadline = current_deadline()
 
     inputs = ref_sim.inputs
     clock = next((p.name for p in inputs if p.name in CLOCK_NAMES), None)
@@ -53,10 +87,12 @@ def simulate_with_traces(
     data = [p for p in inputs if p.name != clock and p.name not in resets]
     outputs = [p.name for p in ref_sim.outputs]
 
-    cand_trace = Trace(signals=list(outputs))
-    ref_trace = Trace(signals=list(outputs))
+    cand_trace = Trace(signals=list(outputs), tracker=tracker)
+    ref_trace = Trace(signals=list(outputs), tracker=tracker)
 
     for cycle in range(samples):
+        if deadline is not None:
+            deadline.check(stage="sim-cycle")
         stimulus: dict[str, Logic | int] = {}
         in_reset = bool(resets) and cycle < 2
         for name in resets:
@@ -74,8 +110,12 @@ def simulate_with_traces(
             cand_sim.step({clock: 1})
             ref_sim.step({clock: 1})
         if not in_reset:
+            if tracker is not None:
+                tracker.phase = "trace"
             cand_trace.record(cand_sim)
             ref_trace.record(ref_sim)
+            if tracker is not None:
+                tracker.phase = "cycle"
     return cand_trace, ref_trace
 
 
@@ -87,6 +127,7 @@ def make_sim_feedback(
     max_shown: int = 16,
     engine: Optional[str] = None,
     limits: Optional[ResourceLimits] = None,
+    sim_limits: Optional[SimLimits] = None,
 ) -> SimFeedback:
     """The feedback message described in §5: error count summary plus the
     waveform-style expected-vs-actual comparison.
@@ -94,8 +135,25 @@ def make_sim_feedback(
     Memoized in the active :class:`~repro.sim.verdict.VerdictCache` the
     same way :func:`~repro.sim.testbench.run_differential` verdicts are:
     feedback is a pure function of the design digests and the stimulus
-    parameters."""
+    parameters.  The sandbox budgets join the key, and only ``ok``/
+    ``fail`` outcomes are memoized -- a budget overflow or crash report
+    is environment-dependent feedback, not a content-addressed fact."""
     effective_engine = engine if engine is not None else get_default_sim_engine()
+    effective_sim = sim_limits if sim_limits is not None else get_default_sim_limits()
+
+    chaos = _chaos_verdict(
+        "sim.feedback",
+        f"{getattr(candidate, 'digest', None)}|"
+        f"{getattr(reference, 'digest', None)}|{samples}|{seed}",
+        effective_engine,
+    )
+    if chaos is not None:
+        return SimFeedback(
+            mismatch_count=samples, samples=samples,
+            text=f"Simulation failed to run: {chaos.detail}",
+            verdict=chaos,
+        )
+
     cache = get_active_verdict_cache()
     key = None
     if cache is not None:
@@ -104,15 +162,16 @@ def make_sim_feedback(
             (getattr(candidate, "digest", None), getattr(reference, "digest", None)),
             effective_engine,
             limits,
-            samples, seed, max_shown,
+            samples, seed, max_shown, repr(effective_sim),
         )
         cached = cache.get(key)
         if cached is not None:
             return cached
     feedback = _make_sim_feedback_uncached(
-        candidate, reference, samples, seed, max_shown, effective_engine, limits
+        candidate, reference, samples, seed, max_shown,
+        effective_engine, limits, effective_sim,
     )
-    if cache is not None:
+    if cache is not None and feedback.verdict is not None and feedback.verdict.cacheable:
         cache.put(key, feedback)
     return feedback
 
@@ -125,17 +184,22 @@ def _make_sim_feedback_uncached(
     max_shown: int,
     engine: str,
     limits: Optional[ResourceLimits],
+    sim_limits: SimLimits,
 ) -> SimFeedback:
-    try:
-        cand_trace, ref_trace = simulate_with_traces(
+    traces, verdict = run_sandboxed(
+        lambda: simulate_with_traces(
             candidate, reference, samples=samples, seed=seed,
-            engine=engine, limits=limits,
-        )
-    except Exception as exc:  # simulation blow-ups are feedback too
+            engine=engine, limits=limits, sim_limits=sim_limits,
+        ),
+        engine,
+    )
+    if verdict is not None:  # simulation blow-ups are feedback too
         return SimFeedback(
             mismatch_count=samples, samples=samples,
-            text=f"Simulation failed to run: {exc}",
+            text=f"Simulation failed to run: {verdict.detail}",
+            verdict=verdict,
         )
+    cand_trace, ref_trace = traces
 
     mismatches = 0
     for name in ref_trace.signals:
@@ -157,4 +221,7 @@ def _make_sim_feedback_uncached(
         mismatch_count=mismatches,
         samples=ref_trace.length * max(len(ref_trace.signals), 1),
         text=text,
+        verdict=SimVerdict(
+            category="ok" if mismatches == 0 else "fail", engine=engine
+        ),
     )

@@ -18,12 +18,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import SimulationError
+from ..errors import SimLimitExceeded, SimulationError
 from ..verilog import ast
 from ..verilog.elaborate import ElabDesign, ElabModule, PortInfo
 from ..verilog.limits import DEFAULT_LIMITS, ResourceLimits
 from .eval import EvalContext, Evaluator, NetState
 from .exec import NbaUpdate, StmtExecutor
+from .limits import (
+    UNTRACKED,
+    BoundedDisplayLog,
+    SimLimits,
+    SimLimitTracker,
+    get_default_sim_limits,
+)
 from .values import Logic
 
 
@@ -59,10 +66,25 @@ class Simulator:
         design: ElabDesign,
         top: str | None = None,
         limits: ResourceLimits | None = None,
+        sim_limits: SimLimits | None = None,
+        sim_tracker: SimLimitTracker | None = None,
     ):
         self.design = design
         #: Cooperative budgets; ``max_settle_passes`` bounds delta cycles.
         self.limits = limits if limits is not None else DEFAULT_LIMITS
+        #: Sandbox budgets (:class:`~repro.sim.limits.SimLimits`).  Pass
+        #: ``sim_tracker`` to share one budget pool across simulators
+        #: (the differential harnesses do); pass
+        #: :data:`~repro.sim.limits.UNTRACKED` as ``sim_limits`` to
+        #: disable tracking entirely (benchmark baseline only).
+        if sim_tracker is not None:
+            self.sim_tracker = sim_tracker
+        elif sim_limits is UNTRACKED:
+            self.sim_tracker = None
+        else:
+            self.sim_tracker = SimLimitTracker(
+                sim_limits if sim_limits is not None else get_default_sim_limits()
+            )
         top_name = top or design.top
         if top_name is None or top_name not in design.modules:
             top_module = design.top_module()
@@ -71,15 +93,24 @@ class Simulator:
             top_name = top_module.name
         self.top = design.modules[top_name]
         self.state = NetState()
-        #: Output captured from $display/$write/$strobe calls.
-        self.display_log: list[str] = []
+        #: Output captured from $display/$write/$strobe calls (budgeted
+        #: against ``max_display_lines`` when tracked).
+        self.display_log: list[str] = BoundedDisplayLog(self.sim_tracker)
         self._assigns: list[tuple[EvalContext, ast.ContinuousAssign]] = []
         self._connections: list[_Connection] = []
         self._comb: list[_CombProcess] = []
         self._seq: list[_SeqProcess] = []
         self._initials: list[tuple[EvalContext, ast.InitialBlock]] = []
         self._build(self.top, prefix="", depth=0)
+        #: Process evaluations one settle pass performs (event charging).
+        self._n_comb_ops = (
+            len(self._assigns) + len(self._connections) + len(self._comb)
+        )
         self._post_build()
+        tracker = self.sim_tracker
+        if tracker is not None:
+            tracker.phase = "construct"
+            tracker.begin_cycle()  # construction counts as one cycle
         self._run_initials()
         self.settle()
         self._edge_state = self._sample_edges()
@@ -95,6 +126,7 @@ class Simulator:
         if depth > 16:
             raise SimulationError("instance hierarchy too deep (recursive?)")
         ctx = EvalContext(state=self.state, module=module, prefix=prefix)
+        ctx.tracker = self.sim_tracker
 
         for name, symbol in module.scope.symbols.items():
             if symbol.kind in ("parameter", "function"):
@@ -134,6 +166,7 @@ class Simulator:
             child_prefix = f"{prefix}{inst.instance_name}."
             self._build(child, child_prefix, depth + 1)
             child_ctx = EvalContext(state=self.state, module=child, prefix=child_prefix)
+            child_ctx.tracker = self.sim_tracker
             for port in child.ports:
                 expr = inst.port_map.get(port.name)
                 if expr is None:
@@ -208,14 +241,28 @@ class Simulator:
         failed verdict rather than a crash.
         """
         budget = self.limits.max_settle_passes
+        tracker = self.sim_tracker
+        passes = 0
         for _ in range(budget):
             before = self.state.snapshot()
             self._comb_pass()
+            passes += 1
             if self.state.values == before:
+                # One bulk charge per settle (pass counts are identical
+                # across engines), inlined to keep the budget check off
+                # the hot path; the pass bound above caps the work a
+                # single settle can do before the charge lands.
+                if tracker is not None:
+                    tracker.events_left -= passes * self._n_comb_ops
+                    if tracker.events_left < 0:
+                        tracker.charge_events(0)  # raises "sim events"
                 return
-        raise SimulationError(
-            "combinational logic did not settle after "
-            f"{budget} passes (loop? raise max_settle_passes if legitimate)"
+        raise SimLimitExceeded(
+            "settle passes",
+            budget,
+            message="combinational logic did not settle after "
+            f"{budget} passes (loop? raise max_settle_passes if legitimate)",
+            phase=getattr(self.sim_tracker, "phase", ""),
         )
 
     def _comb_pass(self) -> None:
@@ -243,6 +290,10 @@ class Simulator:
 
     def step(self, inputs: dict[str, Logic | int] | None = None) -> None:
         """Apply ``inputs``, settle, fire any clock edges, settle again."""
+        tracker = self.sim_tracker
+        if tracker is not None:
+            tracker.phase = "cycle"
+            tracker.begin_cycle()
         if inputs:
             for name, value in inputs.items():
                 self.set_input(name, value)
@@ -259,6 +310,8 @@ class Simulator:
                 if _edge_fired(edge, old, new):
                     triggered.append(proc)
                     break
+        if tracker is not None and triggered:
+            tracker.charge_events(len(triggered))
         nba: list[NbaUpdate] = []
         for proc in triggered:
             StmtExecutor(proc.ctx, nba=nba, display=self.display_log).exec_stmt(proc.block.body)

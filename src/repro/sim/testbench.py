@@ -14,10 +14,17 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import SimulationError
+from ..errors import TransientError
 from ..verilog.elaborate import ElabDesign
 from ..verilog.limits import ResourceLimits
 from .engine import get_default_sim_engine, make_simulator
+from .limits import (
+    UNTRACKED,
+    SimLimits,
+    SimLimitTracker,
+    get_default_sim_limits,
+)
+from .sandbox import SimVerdict, get_active_sandbox_stats, run_sandboxed
 from .simulator import Simulator
 from .values import Logic
 from .verdict import get_active_verdict_cache, verdict_key
@@ -45,6 +52,9 @@ class TestbenchResult:
     #: Non-empty when the candidate could not be simulated at all
     #: (port interface mismatch, runaway loop, unsupported construct).
     failure_reason: str = ""
+    #: Sandbox classification of the run (``ok``/``fail``/``limit``/
+    #: ``crashed``); ``limit``/``crashed`` results are never memoized.
+    verdict: Optional[SimVerdict] = None
 
     def summary(self) -> str:
         if self.passed:
@@ -77,6 +87,40 @@ def check_interface(candidate: ElabDesign, reference: ElabDesign) -> str:
     return ""
 
 
+def _chaos_verdict(site: str, chaos_key: str, engine: str) -> Optional[SimVerdict]:
+    """Consult the ambient simulation fault injector, if any.
+
+    Returns ``None`` (no fault), a fabricated ``injected`` verdict for
+    ``garbage`` faults, or re-raises the injector's raising kinds after
+    counting them.  The chaos key deliberately excludes the engine so
+    both engines draw the same fault for the same work.
+    """
+    # Lazy: repro.runtime transitively imports this package.
+    from ..runtime.faults import get_active_sim_injector
+
+    injector = get_active_sim_injector()
+    if injector is None:
+        return None
+    stats = get_active_sandbox_stats()
+    try:
+        kind = injector.fire(site, chaos_key)
+    except TransientError:
+        if stats is not None:
+            stats.chaos_faults += 1
+        raise
+    if kind != "garbage":
+        return None
+    if stats is not None:
+        stats.chaos_faults += 1
+    return SimVerdict(
+        category="crashed",
+        engine=engine,
+        phase="chaos",
+        detail="chaos: garbled simulation verdict",
+        injected=True,
+    )
+
+
 def run_differential(
     candidate: ElabDesign,
     reference: ElabDesign,
@@ -85,6 +129,7 @@ def run_differential(
     max_mismatches_recorded: int = 4,
     engine: Optional[str] = None,
     limits: Optional[ResourceLimits] = None,
+    sim_limits: Optional[SimLimits] = None,
 ) -> TestbenchResult:
     """Drive both designs with identical stimulus and compare outputs.
 
@@ -93,9 +138,25 @@ def run_differential(
     active :class:`~repro.sim.verdict.VerdictCache` keyed by the design
     digests and every stimulus parameter -- simulation is deterministic,
     so a repeated (candidate, reference, stimulus) triple returns the
-    recorded verdict without simulating.
+    recorded verdict without simulating.  The sandbox budgets join the
+    key (runs under different ``sim_limits`` never alias), and only
+    ``ok``/``fail`` verdicts are memoized -- ``limit``/``crashed``
+    outcomes depend on budgets and environment, not just content.
     """
     effective_engine = engine if engine is not None else get_default_sim_engine()
+    effective_sim = sim_limits if sim_limits is not None else get_default_sim_limits()
+
+    chaos = _chaos_verdict(
+        "sim.diff",
+        f"{getattr(candidate, 'digest', None)}|"
+        f"{getattr(reference, 'digest', None)}|{samples}|{seed}",
+        effective_engine,
+    )
+    if chaos is not None:
+        return TestbenchResult(
+            passed=False, failure_reason=chaos.detail, verdict=chaos
+        )
+
     cache = get_active_verdict_cache()
     key = None
     if cache is not None:
@@ -104,7 +165,7 @@ def run_differential(
             (getattr(candidate, "digest", None), getattr(reference, "digest", None)),
             effective_engine,
             limits,
-            samples, seed, max_mismatches_recorded,
+            samples, seed, max_mismatches_recorded, repr(effective_sim),
         )
         cached = cache.get(key)
         if cached is not None:
@@ -112,9 +173,9 @@ def run_differential(
 
     result = _run_differential_uncached(
         candidate, reference, samples, seed, max_mismatches_recorded,
-        effective_engine, limits,
+        effective_engine, limits, effective_sim,
     )
-    if cache is not None:
+    if cache is not None and result.verdict is not None and result.verdict.cacheable:
         cache.put(key, result)
     return result
 
@@ -127,41 +188,69 @@ def _run_differential_uncached(
     max_mismatches_recorded: int,
     engine: str,
     limits: Optional[ResourceLimits],
+    sim_limits: SimLimits,
 ) -> TestbenchResult:
     interface_error = check_interface(candidate, reference)
     if interface_error:
-        return TestbenchResult(passed=False, failure_reason=interface_error)
+        return TestbenchResult(
+            passed=False,
+            failure_reason=interface_error,
+            verdict=SimVerdict(
+                category="fail", engine=engine,
+                phase="interface", detail=interface_error,
+            ),
+        )
 
-    try:
-        cand_sim = make_simulator(candidate, engine=engine, limits=limits)
-        ref_sim = make_simulator(reference, engine=engine, limits=limits)
-    except SimulationError as exc:
-        return TestbenchResult(passed=False, failure_reason=str(exc))
+    # Lazy: the service package sits above the sim package.
+    from ..service.deadline import current_deadline
 
-    rng = random.Random(seed)
-    ref_inputs = ref_sim.inputs
-    clock = next((p.name for p in ref_inputs if p.name in CLOCK_NAMES), None)
-    resets = [p.name for p in ref_inputs if p.name in RESET_NAMES]
-    data_inputs = [
-        p for p in ref_inputs if p.name != clock and p.name not in resets
-    ]
-    outputs = [p.name for p in ref_sim.outputs]
+    deadline = current_deadline()
+    # One budget pool for the whole harness invocation: candidate and
+    # reference share a tracker, so the pair cannot take more than one
+    # run's worth of resources between them.
+    tracker = None if sim_limits is UNTRACKED else SimLimitTracker(sim_limits)
 
-    result = TestbenchResult(passed=True)
-    try:
+    def body() -> TestbenchResult:
+        cand_sim = make_simulator(
+            candidate, engine=engine, limits=limits,
+            sim_limits=sim_limits, sim_tracker=tracker,
+        )
+        ref_sim = make_simulator(
+            reference, engine=engine, limits=limits,
+            sim_limits=sim_limits, sim_tracker=tracker,
+        )
+
+        rng = random.Random(seed)
+        ref_inputs = ref_sim.inputs
+        clock = next((p.name for p in ref_inputs if p.name in CLOCK_NAMES), None)
+        resets = [p.name for p in ref_inputs if p.name in RESET_NAMES]
+        data_inputs = [
+            p for p in ref_inputs if p.name != clock and p.name not in resets
+        ]
+        outputs = [p.name for p in ref_sim.outputs]
+
+        result = TestbenchResult(passed=True)
         if clock is None:
             _run_combinational(
                 cand_sim, ref_sim, data_inputs, resets, outputs,
-                samples, rng, result, max_mismatches_recorded,
+                samples, rng, result, max_mismatches_recorded, deadline,
             )
         else:
             _run_sequential(
                 cand_sim, ref_sim, clock, data_inputs, resets, outputs,
-                samples, rng, result, max_mismatches_recorded,
+                samples, rng, result, max_mismatches_recorded, deadline,
             )
-    except SimulationError as exc:
-        return TestbenchResult(passed=False, failure_reason=str(exc))
+        return result
+
+    result, verdict = run_sandboxed(body, engine)
+    if verdict is not None:
+        return TestbenchResult(
+            passed=False, failure_reason=verdict.detail, verdict=verdict
+        )
     result.passed = result.mismatch_count == 0 and not result.failure_reason
+    result.verdict = SimVerdict(
+        category="ok" if result.passed else "fail", engine=engine
+    )
     return result
 
 
@@ -202,9 +291,11 @@ def _compare(
 
 def _run_combinational(
     cand_sim, ref_sim, data_inputs, resets, outputs,
-    samples, rng, result, limit,
+    samples, rng, result, limit, deadline=None,
 ) -> None:
     for sample in range(samples):
+        if deadline is not None:
+            deadline.check(stage="sim-cycle")
         stimulus: dict[str, Logic | int] = {}
         for port in data_inputs:
             stimulus[port.name] = _random_vector(rng, port.width)
@@ -217,10 +308,12 @@ def _run_combinational(
 
 def _run_sequential(
     cand_sim, ref_sim, clock, data_inputs, resets, outputs,
-    samples, rng, result, limit,
+    samples, rng, result, limit, deadline=None,
 ) -> None:
     reset_cycles = 2 if resets else 0
     for cycle in range(samples):
+        if deadline is not None:
+            deadline.check(stage="sim-cycle")
         stimulus: dict[str, Logic | int] = {}
         in_reset = cycle < reset_cycles
         for name in resets:

@@ -23,6 +23,12 @@ class Trace:
 
     signals: list[str]
     samples: dict[str, list[Logic]] = field(default_factory=dict)
+    #: Optional :class:`~repro.sim.limits.SimLimitTracker`; when set,
+    #: every recorded (signal, sample) entry charges the trace budgets
+    #: (trace bombs -- many wide outputs -- stop here instead of eating
+    #: memory).  Excluded from equality/repr: a trace's identity is its
+    #: recorded data.
+    tracker: object = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         for name in self.signals:
@@ -30,10 +36,16 @@ class Trace:
 
     def record(self, sim: Simulator) -> None:
         """Capture the current value of every traced signal."""
+        tracker = self.tracker
         for name in self.signals:
-            self.samples[name].append(sim.get(name))
+            value = sim.get(name)
+            if tracker is not None:
+                tracker.charge_trace(1, (value.width + 7) >> 3)
+            self.samples[name].append(value)
 
     def append(self, name: str, value: Logic) -> None:
+        if self.tracker is not None:
+            self.tracker.charge_trace(1, (value.width + 7) >> 3)
         self.samples.setdefault(name, []).append(value)
         if name not in self.signals:
             self.signals.append(name)

@@ -49,15 +49,22 @@ class VcdSignal:
 class VcdWriter:
     """Accumulates VCD text for one or more traces."""
 
-    def __init__(self, timescale: str = "1ns", module: str = "top"):
+    def __init__(
+        self, timescale: str = "1ns", module: str = "top", tracker: object = None
+    ):
         self.timescale = timescale
         self.module = module
+        #: Optional SimLimitTracker; when set, every emitted value change
+        #: charges the trace-entry/byte budgets so a VCD of a hostile
+        #: trace cannot balloon past the sandbox limits.
+        self.tracker = tracker
         self._signals: list[VcdSignal] = []
         self._changes: dict[int, list[str]] = {}
 
     def add_trace(self, trace: Trace, prefix: str = "") -> None:
         """Register every signal of ``trace`` and record its changes.
         ``prefix`` namespaces the signals (e.g. 'expected_')."""
+        tracker = self.tracker
         for name in trace.signals:
             values = trace.samples.get(name, [])
             width = values[0].width if values else 1
@@ -71,9 +78,10 @@ class VcdWriter:
                 if previous is not None and value.same_as(previous):
                     continue
                 previous = value
-                self._changes.setdefault(step, []).append(
-                    f"{_format_value(value)}{signal.identifier}"
-                )
+                change = f"{_format_value(value)}{signal.identifier}"
+                if tracker is not None:
+                    tracker.charge_trace(1, len(change))
+                self._changes.setdefault(step, []).append(change)
 
     def render(self) -> str:
         lines = [

@@ -1,0 +1,13 @@
+// hostile: mode=diff samples=8 kind=display_lines
+// Floods the $display capture log: ~3000 lines per clock edge, so the
+// bounded display sink overflows on the first simulated cycle long
+// before any other budget is touched.
+module top_module(input clk, output reg out);
+  reg [15:0] i;
+  always @(posedge clk) begin
+    for (i = 0; i < 3000; i = i + 1) begin
+      $display("spam %d", i);
+    end
+    out = 1'b1;
+  end
+endmodule

@@ -1,0 +1,7 @@
+// hostile: mode=diff samples=100000 kind=simulated_cycles
+// A perfectly innocent counter asked to run for a hundred thousand
+// samples: the lifetime cycle budget cuts the run off instead of
+// letting one harness call burn minutes of wall clock.
+module top_module(input clk, output reg [7:0] q);
+  always @(posedge clk) q <= q + 1;
+endmodule

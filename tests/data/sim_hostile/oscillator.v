@@ -1,0 +1,8 @@
+// hostile: mode=diff samples=8 kind=settle_passes
+// A genuinely oscillating combinational net.  Plain feedback loops
+// such as "assign w = ~w & a;" stabilise at X under 4-state semantics,
+// so this one uses case-equality -- === returns a *known* 0/1 even for
+// X operands -- to keep the net flipping between 0 and 1 forever.
+module top_module(input a, output w);
+  assign w = (w === 1'b0) ? 1'b1 : 1'b0;
+endmodule

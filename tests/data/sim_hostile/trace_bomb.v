@@ -1,0 +1,12 @@
+// hostile: mode=feedback samples=1500 kind=trace_bytes
+// Trace bomb: four 2048-bit outputs make the traced-feedback harness
+// record ~2 KiB of waveform data per cycle (candidate + reference share
+// one budget pool), so the trace-byte budget fires after ~500 cycles --
+// far before the cycle budget would.
+module top_module(input a, output [2047:0] w, output [2047:0] x,
+                  output [2047:0] y, output [2047:0] z);
+  assign w = {2048{a}};
+  assign x = ~{2048{a}};
+  assign y = {1024{2'b10}};
+  assign z = {1024{a, ~a}};
+endmodule

@@ -16,7 +16,13 @@ from repro.diagnostics import (
 from repro.diagnostics.codes import CATALOG
 from repro.errors import ResourceLimitExceeded
 from repro.runtime import CompileCache, compile_key, isolable
-from repro.runtime.fuzz import MUTATORS, SEED_CORPUS, FuzzConfig, run_fuzz
+from repro.runtime.fuzz import (
+    MUTATORS,
+    SEED_CORPUS,
+    SIM_MUTATORS,
+    FuzzConfig,
+    run_fuzz,
+)
 from repro.verilog.limits import (
     DEFAULT_LIMITS,
     FUZZ_LIMITS,
@@ -401,7 +407,7 @@ class TestFuzzHarness:
 
     def test_every_mutator_exercised(self):
         report = run_fuzz(FuzzConfig(seed=0, iterations=120))
-        assert set(report.mutator_counts) == set(MUTATORS)
+        assert set(report.mutator_counts) == set(MUTATORS) | set(SIM_MUTATORS)
 
     def test_corpus_compiles_standalone(self):
         for snippet in SEED_CORPUS:

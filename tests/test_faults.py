@@ -30,6 +30,7 @@ from repro.runtime import (
     ChaosCompiler,
     ChaosLLMClient,
     ChaosRepairModel,
+    CircuitBreaker,
     FaultInjector,
     FaultSpec,
     ParallelRunner,
@@ -42,6 +43,7 @@ from repro.runtime import (
     guidance_key,
     messages_key,
     partition_failures,
+    use_sim_chaos,
 )
 
 pytestmark = pytest.mark.chaos
@@ -580,6 +582,124 @@ class TestVerdictChaosTransparency:
             assert run.failures == baseline.failures
             assert run.fixed_counts == baseline.fixed_counts
             assert run.iterations == baseline.iterations
+
+
+class TestSandboxChaos:
+    """Chaos at the simulator seam (``sim.diff`` / ``sim.feedback``):
+    injected faults are transient, isolated per trial, invisible to the
+    verdict cache, and never counted by the circuit breaker."""
+
+    PAIR = (
+        "module m(input [3:0] a, output [3:0] y);\n"
+        "assign y = a;\nendmodule\n"
+    )
+
+    @pytest.fixture(scope="class")
+    def design(self):
+        result = Compiler("quartus").compile(self.PAIR)
+        assert result.ok
+        return result.elaborated
+
+    def test_transient_sim_fault_clears_on_retry(self, design):
+        from repro.sim import no_verdict_cache
+        from repro.sim.testbench import run_differential
+
+        injector = FaultInjector(
+            seed=0,
+            sim=FaultSpec(rate=1.0, kind="exception", transient_failures=1),
+        )
+        with no_verdict_cache(), use_sim_chaos(injector):
+            with pytest.raises(InjectedFault):
+                run_differential(design, design, samples=8)
+            # Same work unit, same injector: the transient has cleared.
+            assert run_differential(design, design, samples=8).passed
+
+    def test_sim_faults_isolated_per_trial_under_collect(self, design):
+        from repro.sim import no_verdict_cache
+        from repro.sim.testbench import run_differential
+
+        injector = FaultInjector(seed=3, sim=FaultSpec(rate=0.4))
+        runner = ParallelRunner(jobs=1, backend="serial")
+
+        def trial(seed: int) -> bool:
+            return run_differential(design, design, samples=8, seed=seed).passed
+
+        with no_verdict_cache(), use_sim_chaos(injector):
+            results = runner.map(trial, list(range(12)), on_error="collect")
+        values, failures = partition_failures(results)
+        # Deterministic at this seed: some trials fault, the rest finish.
+        assert failures and len(failures) < 12
+        assert all(f.error_type == "InjectedFault" for f in failures)
+        assert all(v for v in values if v is not None)
+
+    def test_garbage_sim_verdict_never_cached(self, design):
+        from repro.sim import VerdictCache, use_verdict_cache
+        from repro.sim.testbench import run_differential
+
+        injector = FaultInjector(seed=1, sim=FaultSpec(rate=1.0, kind="garbage"))
+        cache = VerdictCache()
+        with use_verdict_cache(cache):
+            with use_sim_chaos(injector):
+                garbled = run_differential(design, design, samples=8)
+            assert garbled.verdict.injected and not garbled.passed
+            assert len(cache) == 0, "fabricated verdicts must not be memoized"
+            # The chaos scope is gone: the same triple now records (and
+            # replays) the genuine verdict.
+            assert run_differential(design, design, samples=8).passed
+            assert len(cache) == 1
+            assert run_differential(design, design, samples=8).passed
+
+    def test_transient_sim_faults_never_breaker_counted(self, design):
+        from repro.sim import no_verdict_cache
+        from repro.sim.testbench import run_differential
+
+        breaker = CircuitBreaker(failure_threshold=2)
+        injector = FaultInjector(seed=0, sim=FaultSpec(rate=1.0))
+        with no_verdict_cache(), use_sim_chaos(injector):
+            for seed in range(4):
+                try:
+                    run_differential(design, design, samples=8, seed=seed)
+                except InjectedFault as exc:
+                    breaker.record_failure(exc)
+        # Four consecutive transient sim faults: the retry layer's job,
+        # not consecutive-failure evidence.
+        assert breaker.trips == 0
+        assert breaker.consecutive_failures == 0
+
+    def test_chaos_faults_counted_in_sandbox_stats(self, design):
+        from repro.sim import no_verdict_cache
+        from repro.sim.sandbox import use_sandbox_stats
+        from repro.sim.testbench import run_differential
+
+        injector = FaultInjector(seed=0, sim=FaultSpec(rate=1.0))
+        with no_verdict_cache(), use_sandbox_stats() as stats:
+            with use_sim_chaos(injector):
+                with pytest.raises(InjectedFault):
+                    run_differential(design, design, samples=8)
+        assert stats.chaos_faults == 1
+        assert stats.crashed_verdicts == 0, "chaos is not a sandbox crash"
+
+    def test_both_engines_draw_the_same_fault(self, design):
+        from repro.sim import no_verdict_cache
+        from repro.sim.testbench import run_differential
+
+        outcomes: dict[str, list[str]] = {"interp": [], "compiled": []}
+        for engine in outcomes:
+            for seed in range(8):
+                injector = FaultInjector(seed=7, sim=FaultSpec(rate=0.5))
+                with no_verdict_cache(), use_sim_chaos(injector):
+                    try:
+                        run_differential(
+                            design, design, samples=4, seed=seed, engine=engine
+                        )
+                        outcomes[engine].append("ok")
+                    except InjectedFault:
+                        outcomes[engine].append("fault")
+        # The fault key excludes the engine, so the decision sequence is
+        # engine-independent (the fuzz sandbox-differential relies on it)
+        # -- and at rate 0.5 both outcomes actually occur.
+        assert outcomes["interp"] == outcomes["compiled"]
+        assert set(outcomes["interp"]) == {"ok", "fault"}
 
 
 def _square(x: int) -> int:
