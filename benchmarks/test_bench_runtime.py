@@ -731,3 +731,93 @@ def test_llm_pool_hedged_tail_latency(benchmark):
     assert ledger["hedge_wins"] >= 1  # the duplicate supplied replies
     # Unhedged pays cheap-timeout + strong serially; hedged overlaps them.
     assert t_hedged < t_plain, "hedging saved no latency on a failing primary"
+
+
+# ---------------------------------------------------------------------------
+# Repair engine (Table-4 functional workload)
+# ---------------------------------------------------------------------------
+
+
+def test_repair_engine_workload(benchmark):
+    """The Table-4 functional-repair workload end to end: template
+    search throughput (templates simulated/sec), trace-diff
+    localization latency, and the fix rate by bug class -- the
+    headline numbers in BENCH_repair.json."""
+    import random as _random
+
+    from repro.dataset.mutate import force_behavior_change, mutate_logic
+    from repro.dataset.problem import ProblemSet
+    from repro.diagnostics import Compiler
+    from repro.eval.experiments import run_table4
+    from repro.repair import TraceDiffLocalizer
+
+    problems = ProblemSet("bench-repair", list(CORPUS)[:12])
+
+    with use_compile_cache(CompileCache()):
+        # Localization latency, measured on a fresh localizer per
+        # mutant so memoization cannot flatter the number.
+        localizations = 0
+        t_localize = 0.0
+        for problem in problems:
+            rng = _random.Random(f"bench-repair|{problem.id}")
+            buggy = mutate_logic(problem.reference, rng)
+            if buggy == problem.reference:
+                buggy = force_behavior_change(problem.reference)
+                if buggy is None:
+                    continue
+            compiler = Compiler()
+            reference = compiler.compile(problem.reference).elaborated
+            if reference is None:
+                continue
+            localizer = TraceDiffLocalizer(reference, compiler=compiler)
+            _, elapsed = _timed(lambda: localizer.localize(buggy))
+            localizations += 1
+            t_localize += elapsed
+
+        benchmark.pedantic(
+            lambda: run_table4(problems, samples_per_problem=1, seed=1),
+            rounds=1, iterations=1,
+        )
+        result, t_workload = _timed(
+            lambda: run_table4(problems, samples_per_problem=2, seed=0)
+        )
+
+    attempted, template_fixed, llm_fixed = result.totals()
+    assert attempted > 0
+    assert template_fixed > 0, "template search fixed nothing"
+    templates_per_sec = (
+        result.templates_tried / t_workload if t_workload else 0.0
+    )
+    localize_ms = (t_localize / localizations * 1000) if localizations else 0.0
+
+    benchmark.extra_info["attempted"] = attempted
+    benchmark.extra_info["template_fixed"] = template_fixed
+    benchmark.extra_info["llm_fixed"] = llm_fixed
+    benchmark.extra_info["fix_rate"] = round(result.fix_rate, 3)
+    benchmark.extra_info["fix_rate_by_class"] = {
+        bug_class: round((t + l) / a, 3) if a else 0.0
+        for bug_class, (a, t, l) in sorted(result.by_class.items())
+    }
+    benchmark.extra_info["templates_tried"] = result.templates_tried
+    benchmark.extra_info["templates_tried_per_sec"] = round(templates_per_sec, 1)
+    benchmark.extra_info["localization_ms"] = round(localize_ms, 2)
+    benchmark.extra_info["localization_accuracy"] = round(
+        result.localization_accuracy, 3
+    )
+
+    rows = [
+        [bug_class, a, t, l, f"{(t + l) / a:.2f}" if a else "-"]
+        for bug_class, (a, t, l) in sorted(result.by_class.items())
+    ]
+    rows.append(["TOTAL", attempted, template_fixed, llm_fixed,
+                 f"{result.fix_rate:.2f}"])
+    report(
+        "Repair engine: Table-4 functional workload",
+        render_table(
+            ["bug class", "attempted", "template", "llm", "fix rate"],
+            rows,
+        )
+        + f"\ntemplates simulated/sec: {templates_per_sec:,.0f}; "
+        f"localization: {localize_ms:.1f} ms/design "
+        f"(accuracy {result.localization_accuracy:.2f})",
+    )

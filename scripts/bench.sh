@@ -15,9 +15,12 @@
 # tail latency) as BENCH_llm.json (override with BENCH_LLM_JSON=), the
 # sandbox budget-check overhead (tracked vs UNTRACKED on both engines
 # and the clean corpus, <5% gate) as BENCH_sandbox.json (override with
-# BENCH_SANDBOX_JSON=), and the repair-service load benchmark (p50/p99
-# latency, jobs/sec, shed rate via scripts/loadgen.py) as
-# BENCH_service.json (override with BENCH_SERVICE_JSON=).
+# BENCH_SANDBOX_JSON=), the repair-engine functional workload (templates
+# simulated/sec, trace-diff localization latency, fix rate by bug class)
+# as BENCH_repair.json (override with BENCH_REPAIR_JSON=), and the
+# repair-service load benchmark (p50/p99 latency, jobs/sec, shed rate
+# via scripts/loadgen.py) as BENCH_service.json (override with
+# BENCH_SERVICE_JSON=).
 #
 # The chaos (fault-injection) suite and a fuzz smoke run first: perf
 # numbers for a runtime whose failure paths are broken, or a compiler
@@ -93,6 +96,17 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
     -k "llm_pool" --benchmark-only \
     --benchmark-json "$llm_out"
 echo "LLM pool benchmark written to $llm_out"
+
+# Dedicated repair-engine artifact: the Table-4 functional workload
+# (template-search throughput, localization latency, fix rate by bug
+# class), so the repair-kernel trajectory is tracked on its own across
+# PRs.
+repair_out="${BENCH_REPAIR_JSON:-BENCH_repair.json}"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" REPRO_BENCH_PROFILE="$profile" \
+    python -m pytest benchmarks/test_bench_runtime.py \
+    -k "repair_engine" --benchmark-only \
+    --benchmark-json "$repair_out"
+echo "repair benchmark written to $repair_out"
 
 # Repair-service load benchmark: a spawned server driven by the
 # deterministic load generator; p50/p99 latency, jobs/sec, shed rate

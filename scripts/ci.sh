@@ -9,13 +9,16 @@
 # reference, verdicts and traces bit-identical), the sandbox gate (the
 # hostile-testbench corpus under both engines: every runaway/oscillator/
 # bomb design must come back as a typed limit/crashed verdict with both
-# engines agreeing), the durable-run resume smoke (run, SIGKILL, resume,
-# compare report digests), and the repair-service smoke (serve, SIGTERM
-# drain mid-load, resume, replay digest-identical).  Exits non-zero if
-# any stage fails; later stages still run so one log shows every break.
+# engines agreeing), the repair-engine differential (legacy hand-rolled
+# ReAct/simfix loops vs their RepairEngine rewrites, corpus-wide,
+# transcript-digest-identical), the durable-run resume smoke (run,
+# SIGKILL, resume, compare report digests), and the repair-service smoke
+# (serve, SIGTERM drain mid-load, resume, replay digest-identical).
+# Exits non-zero if any stage fails; later stages still run so one log
+# shows every break.
 #
 # Usage:
-#   scripts/ci.sh                # all nine stages
+#   scripts/ci.sh                # all ten stages
 #   FUZZ_ITERATIONS=1000 scripts/ci.sh   # deeper fuzz stage
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -44,6 +47,9 @@ python scripts/sim_diff.py || status=1
 
 echo "== sandbox gate (hostile corpus, both engines, default budgets) =="
 python scripts/sandbox_gate.py || status=1
+
+echo "== repair-engine differential (legacy vs engine, corpus-wide) =="
+python scripts/repair_diff.py || status=1
 
 echo "== resume smoke (run, kill -9, resume, compare digests) =="
 python scripts/resume_smoke.py || status=1

@@ -1,33 +1,64 @@
 """The ReAct debugging agent (paper §3.2).
 
-The agent owns the loop: compile, read feedback, optionally retrieve
-expert guidance (the RAG action), ask the model for a Thought + revised
-code, recompile.  It stops on success (Finish action), when the model
-declares itself done, or after ``max_iterations`` Thought-Action-
-Observation rounds (the paper uses 10).
+Since the repair-engine refactor this agent is a thin configuration of
+the generic :class:`~repro.repair.engine.RepairEngine`: a
+:class:`~repro.repair.oracles.CompileOracle` over the session-backed
+compiler, a :class:`~repro.repair.localizers.DiagnosticLocalizer` for
+the RAG action, an :class:`~repro.repair.proposers.LLMProposer` over
+the repair-model surface and the rule-based pre-fix prefix.  Its
+transcripts, results and digests are bit-identical to the pre-refactor
+hand-rolled loop (``scripts/repair_diff.py`` prosecutes this against
+:mod:`repro.repair.legacy`).
 
-Service integration: the loop honours an ambient request
-:class:`~repro.service.deadline.Deadline` -- checked at the top of
-every iteration, so an over-budget repair stops *mid-run* with
-:class:`~repro.errors.DeadlineExceededError` instead of discovering
-the overrun after finishing -- and emits every transcript turn through
-an optional ``on_turn`` observer, which the repair server streams to
-clients as per-iteration SSE progress events.  Both are no-ops for
-batch runs (no deadline in scope, no observer attached).
+Service integration comes from the engine's shared seams: the ambient
+request :class:`~repro.service.deadline.Deadline` is checked at the top
+of every iteration (an over-budget repair stops *mid-run* with
+:class:`~repro.errors.DeadlineExceededError`), and every transcript
+turn flows through the optional ``on_turn`` observer, which the repair
+server streams to clients as per-iteration SSE progress events.  Both
+are no-ops for batch runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from ..diagnostics import Compiler
 from ..llm.base import RepairModel
 from ..rag.retrievers import Retriever
-from ..service.deadline import current_deadline
+from ..repair import (
+    CompileOracle,
+    DiagnosticLocalizer,
+    EngineConfig,
+    LLMProposer,
+    RepairEngine,
+    RuleFixProposer,
+    record_rule_fix,  # re-exported: OneShotAgent shares the pre-pass  # noqa: F401
+)
+from ..repair.base import _head  # noqa: F401  (compat re-export)
 from .transcript import Transcript, Turn
 
 DEFAULT_MAX_ITERATIONS = 10
+
+#: The ReAct flavor of the engine loop: Compiler action, trust the
+#: model's every revision ("always" accept), Finish turns on success,
+#: stop once a verified step declared itself done.
+_REACT_CONFIG = EngineConfig(
+    action="Compiler",
+    head_lines=3,
+    accept="always",
+    finish_thought="The compiler reports no errors; the syntax "
+    "error is resolved.",
+    initial_finish=lambda rule_fixed: (
+        "The rule-based fixes made the module compile cleanly; "
+        "no model repair needed."
+        if rule_fixed
+        else "The module compiles cleanly; no repair needed."
+    ),
+    stop_after_done=True,
+    deadline_stage="react-iteration",
+)
 
 
 @dataclass
@@ -81,135 +112,33 @@ class ReActAgent:
         #: never raise -- it runs inside the repair loop.
         self.on_turn = on_turn
 
-    def _record(self, transcript: Transcript, **turn_fields) -> Turn:
-        """Append one transcript turn and notify the observer."""
-        turn = transcript.add(**turn_fields)
-        if self.on_turn is not None:
-            self.on_turn(turn)
-        return turn
+    def _engine(self) -> RepairEngine:
+        """Assemble the ReAct configuration of the repair engine.
+
+        Built per run (cheap: plain object composition) so post-
+        construction reassignment of ``on_turn`` -- the repair server
+        does this -- is honoured."""
+        return RepairEngine(
+            oracle=CompileOracle(self.compiler),
+            proposer=LLMProposer(
+                self.model, flavor=self.compiler.flavor,
+                use_rag=self.retriever is not None,
+            ),
+            localizer=(
+                DiagnosticLocalizer(self.retriever)
+                if self.retriever is not None else None
+            ),
+            config=replace(_REACT_CONFIG, max_iterations=self.max_iterations),
+            prefix=RuleFixProposer() if self.apply_rule_fix else None,
+            on_turn=self.on_turn,
+        )
 
     def run(self, code: str, description: str = "") -> AgentResult:
         """Debug ``code`` with the ReAct loop until it compiles or the
         iteration budget runs out."""
-        from ..core.rulefix import rule_fix  # deferred: avoids an import
-        # cycle (repro.core.fixer builds agents)
-
-        transcript = Transcript()
-        rule_fixed = False
-        if self.apply_rule_fix:
-            rule_result = rule_fix(code)
-            rule_fixed = record_rule_fix(transcript, code, rule_result)
-            if rule_fixed and self.on_turn is not None:
-                self.on_turn(transcript.turns[-1])
-            code = rule_result.code
-
-        result = self.compiler.compile(code)
-        if result.ok:
-            self._record(
-                transcript,
-                thought=(
-                    "The rule-based fixes made the module compile cleanly; "
-                    "no model repair needed."
-                    if rule_fixed
-                    else "The module compiles cleanly; no repair needed."
-                ),
-                action="Finish", action_input="answer", observation="",
-            )
-            return AgentResult(success=True, final_code=code, iterations=0,
-                               transcript=transcript, rule_fixed=rule_fixed)
-
-        session = self.model.start(
-            code, flavor=self.compiler.flavor, use_rag=self.retriever is not None
+        outcome = self._engine().run(code)
+        return AgentResult(
+            success=outcome.success, final_code=outcome.final_code,
+            iterations=outcome.iterations, transcript=outcome.transcript,
+            rule_fixed=outcome.rule_fixed,
         )
-
-        iterations = 0
-        for _ in range(self.max_iterations):
-            # Deadline seam: a request served past its budget helps no
-            # one -- stop mid-ReAct instead of finishing the repair and
-            # discovering the overrun post-hoc.  Batch runs have no
-            # ambient deadline and skip this entirely.
-            deadline = current_deadline()
-            if deadline is not None:
-                deadline.check(stage="react-iteration")
-            feedback = result.log
-            guidance = []
-            # A crashed compile (internal-error diagnostic, see
-            # compile_source's never-crash boundary) is still feedback
-            # the model can react to, but there is no point retrieving
-            # guidance for it: the RAG database indexes *design* errors,
-            # not compiler defects.
-            crashed = getattr(result, "crashed", False)
-            if self.retriever is not None and feedback and not crashed:
-                guidance = [r.entry for r in self.retriever.retrieve(feedback)]
-                if guidance:
-                    self._record(
-                        transcript,
-                        thought="I should look up expert guidance for this "
-                        "compiler log.",
-                        action="RAG",
-                        action_input=feedback.split("\n")[0],
-                        observation=guidance[0].guidance,
-                    )
-
-            step = session.step(code, feedback, guidance)
-            iterations += 1
-            code = step.code
-            result = self.compiler.compile(code)
-            # Escalation seam: sessions that route across model tiers
-            # (repro.llm.pool) count failed iterations through this
-            # duck-typed signal; plain sessions have no observe().
-            notice = getattr(session, "observe", None)
-            if callable(notice):
-                notice(result.ok)
-            self._record(
-                transcript,
-                thought=step.thought,
-                action="Compiler",
-                action_input=_head(code),
-                observation=result.log,
-            )
-            if result.ok:
-                self._record(
-                    transcript,
-                    thought="The compiler reports no errors; the syntax "
-                    "error is resolved.",
-                    action="Finish", action_input="answer", observation="",
-                )
-                return AgentResult(success=True, final_code=code,
-                                   iterations=iterations, transcript=transcript,
-                                   rule_fixed=rule_fixed)
-            if step.declared_done:
-                break
-        return AgentResult(success=False, final_code=code,
-                           iterations=iterations, transcript=transcript,
-                           rule_fixed=rule_fixed)
-
-
-def record_rule_fix(transcript: Transcript, original: str, rule_result) -> bool:
-    """Record a rule-based pre-fix as its own transcript step.
-
-    Returns True (and appends a ``RuleFix`` turn) only when the
-    pre-fixer *materially* changed the code -- whitespace-only trims do
-    not count, so clean inputs still short-circuit with a lone
-    ``Finish`` turn.
-    """
-    if rule_result.code.strip() == original.strip():
-        return False
-    notes = []
-    if rule_result.extracted_from_markdown:
-        notes.append("extracted the Verilog from the surrounding text")
-    if rule_result.moved_timescale:
-        notes.append("hoisted the `timescale directive to the file top")
-    if not notes:
-        notes.append("normalized the module text")
-    transcript.add(
-        thought="Apply the rule-based pre-fixer before consulting the model.",
-        action="RuleFix",
-        action_input=_head(original),
-        observation="; ".join(notes),
-    )
-    return True
-
-
-def _head(code: str, lines: int = 3) -> str:
-    return "\n".join(code.strip().split("\n")[:lines])

@@ -1,10 +1,26 @@
 """Simulation-error debugging agent (paper §5 extension).
 
-Adapts the ReAct loop to *functional* bugs: the Compiler action is
-replaced by a Simulator action whose observation is the §5 feedback
-message (mismatch count + waveform-style comparison).  The loop accepts
-a candidate edit only if it strictly reduces the mismatch count, and
-finishes when the differential testbench passes.
+Adapts the ReAct loop to *functional* bugs: since the repair-engine
+refactor this is a thin configuration of
+:class:`~repro.repair.engine.RepairEngine` -- a
+:class:`~repro.repair.oracles.SimOracle` (sandboxed differential
+simulation against the golden reference, mismatch count as the score)
+with hill-climbing acceptance: a candidate edit is accepted only if it
+strictly reduces the mismatch count, and the run finishes when the
+differential testbench passes.  Transcripts and results are
+bit-identical to the pre-refactor hand-rolled loop.
+
+The engine's shared service seams apply here too (they were ReAct-only
+before the refactor): an ambient request
+:class:`~repro.service.deadline.Deadline` stops a functional repair
+mid-run with a 504, and ``on_turn`` streams per-iteration progress.
+
+By default the model is the direct
+:class:`~repro.llm.simfix.SimulatedLogicDebugger`; under an ambient
+:func:`~repro.llm.pool.get_default_llm_routing` spec it becomes the
+pool-routed :class:`~repro.llm.simfix.PooledLogicModel`, so tier
+escalation and token accounting (``report.llm``) cover functional
+repair like they cover syntax repair.
 
 Note the evaluation asymmetry the paper glosses over: judging functional
 correctness requires the benchmark's golden model, so this agent (like
@@ -14,12 +30,33 @@ deployable flow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
 
 from ..diagnostics import Compiler
-from ..llm.simfix import SimulatedLogicDebugger
-from ..sim.feedback import make_sim_feedback
-from .transcript import Transcript
+from ..repair import (
+    EngineConfig,
+    LogicModelProposer,
+    RepairEngine,
+    SimOracle,
+)
+from .transcript import Transcript, Turn
+
+#: The simulation flavor of the engine loop: Simulator action, 2-line
+#: action input, improving-only (hill-climbing) acceptance, no Finish
+#: turns on success, an explicit give-up turn, and the loop keeps
+#: consulting the proposer after a declared-done step that changed the
+#: code (exactly the legacy loop's shape).
+_SIMFIX_CONFIG = EngineConfig(
+    action="Simulator",
+    head_lines=2,
+    accept="improving",
+    finish_thought=None,
+    initial_finish=None,
+    stop_after_done=False,
+    give_up_turn=True,
+    deadline_stage="sim-iteration",
+)
 
 
 @dataclass
@@ -32,17 +69,30 @@ class SimFixResult:
     transcript: Transcript = field(default_factory=Transcript)
 
 
+def default_logic_model():
+    """The agent's model when none is injected: direct simulated
+    debugger, or the pool-routed variant under ambient LLM routing."""
+    from ..llm.pool import get_default_llm_routing
+    from ..llm.simfix import PooledLogicModel, SimulatedLogicDebugger
+
+    routing = get_default_llm_routing()
+    if routing is not None:
+        return PooledLogicModel(routing)
+    return SimulatedLogicDebugger()
+
+
 class SimDebugAgent:
     """Iterative logic debugging against a golden reference."""
 
     def __init__(
         self,
-        model: SimulatedLogicDebugger | None = None,
+        model=None,
         max_iterations: int = 8,
         sim_samples: int = 16,
         sim_limits=None,
+        on_turn: Optional[Callable[[Turn], None]] = None,
     ):
-        self.model = model or SimulatedLogicDebugger()
+        self.model = model if model is not None else default_logic_model()
         self.max_iterations = max_iterations
         self.sim_samples = sim_samples
         #: Sandbox budgets for every simulation this agent runs (None =
@@ -53,69 +103,28 @@ class SimDebugAgent:
         #: are small, so the staged pipeline's incremental recompilation
         #: (and the whole-result cache) carry most of the work.
         self.compiler = Compiler()
+        #: Progress observer (see :class:`~repro.agents.react.ReActAgent`):
+        #: every transcript turn, as recorded.  May be (re)assigned
+        #: after construction; must never raise.
+        self.on_turn = on_turn
 
     def run(
         self, code: str, reference_code: str, difficulty: str = "hard"
     ) -> SimFixResult:
-        transcript = Transcript()
-        reference = self.compiler.compile(reference_code).elaborated
-        compiled = self.compiler.compile(code)
-        if not compiled.ok or compiled.elaborated is None or reference is None:
-            return SimFixResult(
-                success=False, final_code=code, iterations=0,
-                transcript=transcript,
-            )
-
-        feedback = make_sim_feedback(
-            compiled.elaborated, reference, samples=self.sim_samples,
-            sim_limits=self.sim_limits,
+        engine = RepairEngine(
+            oracle=SimOracle(
+                reference_code, compiler=self.compiler,
+                samples=self.sim_samples, sim_limits=self.sim_limits,
+            ),
+            proposer=LogicModelProposer(self.model, difficulty),
+            config=replace(_SIMFIX_CONFIG, max_iterations=self.max_iterations),
+            on_turn=self.on_turn,
         )
-        best_code = code
-        best_mismatches = feedback.mismatch_count
-        initial = feedback.mismatch_count
-        if feedback.passed:
-            return SimFixResult(
-                success=True, final_code=code, iterations=0,
-                initial_mismatches=0, final_mismatches=0, transcript=transcript,
-            )
-
-        session = self.model.start(code, difficulty)
-        iterations = 0
-        for _ in range(self.max_iterations):
-            step = session.step(best_code, feedback.text)
-            if step.declared_done and step.code == best_code:
-                transcript.add(step.thought, "Finish", "give up", feedback.text)
-                break
-            iterations += 1
-            compiled = self.compiler.compile(step.code)
-            if not compiled.ok or compiled.elaborated is None:
-                transcript.add(step.thought, "Simulator", _head(step.code),
-                               "edit broke compilation; reverted")
-                continue
-            candidate_feedback = make_sim_feedback(
-                compiled.elaborated, reference, samples=self.sim_samples,
-                sim_limits=self.sim_limits,
-            )
-            transcript.add(
-                step.thought, "Simulator", _head(step.code),
-                candidate_feedback.text.split("\n")[0],
-            )
-            if candidate_feedback.passed:
-                return SimFixResult(
-                    success=True, final_code=step.code, iterations=iterations,
-                    initial_mismatches=initial, final_mismatches=0,
-                    transcript=transcript,
-                )
-            if candidate_feedback.mismatch_count < best_mismatches:
-                best_code = step.code
-                best_mismatches = candidate_feedback.mismatch_count
-                feedback = candidate_feedback
+        outcome = engine.run(code)
         return SimFixResult(
-            success=False, final_code=best_code, iterations=iterations,
-            initial_mismatches=initial, final_mismatches=best_mismatches,
-            transcript=transcript,
+            success=outcome.success, final_code=outcome.final_code,
+            iterations=outcome.iterations,
+            initial_mismatches=outcome.initial_score,
+            final_mismatches=outcome.final_score,
+            transcript=outcome.transcript,
         )
-
-
-def _head(code: str, lines: int = 2) -> str:
-    return "\n".join(code.strip().split("\n")[:lines])

@@ -1,55 +1,9 @@
-"""ReAct transcripts: Thought / Action / Observation traces (Fig. 2c)."""
+"""Compatibility re-export: transcripts moved to
+:mod:`repro.repair.transcript` with the repair-engine refactor (the
+transcript is the engine's output format, not any one agent's)."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from ..repair.transcript import Transcript, Turn
 
-
-@dataclass(frozen=True)
-class Turn:
-    """One Thought-Action-Observation step."""
-
-    index: int
-    thought: str
-    action: str  # "Compiler" | "RAG" | "Finish"
-    action_input: str
-    observation: str
-
-
-@dataclass
-class Transcript:
-    """The full interaction trace of one debugging session."""
-
-    turns: list[Turn] = field(default_factory=list)
-
-    def add(self, thought: str, action: str, action_input: str, observation: str) -> Turn:
-        turn = Turn(
-            index=len(self.turns) + 1,
-            thought=thought,
-            action=action,
-            action_input=action_input,
-            observation=observation,
-        )
-        self.turns.append(turn)
-        return turn
-
-    def __len__(self) -> int:
-        return len(self.turns)
-
-    def render(self, max_chars_per_field: int = 400) -> str:
-        """Human-readable rendering in the paper's Fig. 2c style."""
-
-        def clip(text: str) -> str:
-            text = text.strip()
-            if len(text) > max_chars_per_field:
-                return text[: max_chars_per_field - 3] + "..."
-            return text
-
-        blocks = []
-        for turn in self.turns:
-            blocks.append(
-                f"Thought {turn.index}: {clip(turn.thought)}\n"
-                f"Action {turn.index}: {turn.action}[{clip(turn.action_input)}]\n"
-                f"Observation {turn.index}: {clip(turn.observation) or '(compile passed)'}"
-            )
-        return "\n\n".join(blocks)
+__all__ = ["Transcript", "Turn"]

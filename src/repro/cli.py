@@ -195,6 +195,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         sim_samples=args.sim_samples,
         include_gpt4=not args.no_gpt4,
         simfix_samples_per_problem=args.simfix_samples,
+        table4_samples_per_problem=args.table4_samples,
     )
     try:
         with GracefulShutdown() as shutdown:
@@ -524,6 +525,9 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--n-samples", type=int, default=10)
     rep.add_argument("--sim-samples", type=int, default=24)
     rep.add_argument("--simfix-samples", type=int, default=2)
+    rep.add_argument("--table4-samples", type=int, default=2,
+                     help="logic-buggy samples per problem for the Table-4 "
+                     "functional-repair workload")
     rep.add_argument("--no-gpt4", action="store_true",
                      help="skip the GPT-4 ablation rows")
     rep.add_argument(

@@ -128,11 +128,16 @@ def force_behavior_change(code: str) -> str | None:
     return mutated if compile_source(mutated).ok else None
 
 
-def mutate_logic(code: str, rng: random.Random, attempts: int = 12) -> str:
-    """Apply one random logic mutation that keeps the code compiling.
+def mutate_logic_labeled(
+    code: str, rng: random.Random, attempts: int = 12
+) -> tuple[str, str]:
+    """Like :func:`mutate_logic`, but also report *which* mutation
+    landed -- ``(mutated_code, bug_class)``.
 
-    Falls back to the original code when nothing applies (the sample
-    then just happens to be correct)."""
+    The bug class is the mutation function's name (``swap_and_or``,
+    ``wrong_edge``, ...), or ``"none"`` when nothing applied.  Draws
+    from ``rng`` are identical to :func:`mutate_logic`'s, so labeled
+    and unlabeled callers sharing a seed see the same mutants."""
     order = MUTATIONS[:]
     rng.shuffle(order)
     tried = 0
@@ -144,5 +149,13 @@ def mutate_logic(code: str, rng: random.Random, attempts: int = 12) -> str:
         if mutated is None or mutated == code:
             continue
         if compile_source(mutated).ok:
-            return mutated
-    return code
+            return mutated, mutation.__name__
+    return code, "none"
+
+
+def mutate_logic(code: str, rng: random.Random, attempts: int = 12) -> str:
+    """Apply one random logic mutation that keeps the code compiling.
+
+    Falls back to the original code when nothing applies (the sample
+    then just happens to be correct)."""
+    return mutate_logic_labeled(code, rng, attempts)[0]

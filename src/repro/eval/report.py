@@ -48,6 +48,7 @@ from .experiments import (
     run_table1,
     run_table2,
     run_table3,
+    run_table4,
 )
 from .figures import composition_figure, histogram_figure
 
@@ -63,6 +64,7 @@ class ReportScale:
     sim_samples: int = 24
     include_gpt4: bool = True
     simfix_samples_per_problem: int = 2
+    table4_samples_per_problem: int = 2
 
 
 @dataclass
@@ -76,6 +78,9 @@ class FullReport:
     figure5: dict = field(default_factory=dict)
     figure6: dict = field(default_factory=dict)
     simfix: dict = field(default_factory=dict)
+    #: The Table-4 functional-repair workload (fix rate by bug class,
+    #: template-vs-LLM attribution, localization accuracy, digest).
+    table4: dict = field(default_factory=dict)
     #: Compile-cache counters for the whole run (hits, misses,
     #: evictions, compiles avoided) -- the runtime's observability.
     cache: dict = field(default_factory=dict)
@@ -144,6 +149,7 @@ class FullReport:
             "figure7": {str(k): v for k, v in self.figure7.items()},
             "figure6": self.figure6,
             "simfix": self.simfix,
+            "table4": self.table4,
             "failures": self.failures,
         }
         return json.dumps(payload, indent=2)
@@ -151,7 +157,7 @@ class FullReport:
     def to_markdown(self) -> str:
         sections = ["# Reproduction report\n"]
         for name in ("table1", "table2", "table3", "figure4", "figure7",
-                     "figure6", "simfix", "cache", "pipeline", "sim",
+                     "figure6", "simfix", "table4", "cache", "pipeline", "sim",
                      "llm", "service", "resume", "breaker", "failures"):
             if name in self.rendered:
                 sections.append(f"## {name}\n\n```\n{self.rendered[name]}\n```\n")
@@ -437,4 +443,32 @@ def _run_experiments(
         for difficulty, (attempted, fixed) in simfix.by_difficulty.items()
     }
     report.rendered["simfix"] = simfix.render()
+
+    tick("Table 4 (functional repair)")
+    t4 = run_table4(
+        verilogeval(),
+        samples_per_problem=scale.table4_samples_per_problem,
+        sim_samples=scale.sim_samples,
+        jobs=jobs,
+        on_error=on_error,
+        ctx=ctx,
+    )
+    report.failures["table4"] = len(t4.failures)
+    report.table4 = {
+        "by_class": {
+            bug_class: {
+                "attempted": attempted,
+                "template_fixed": template_fixed,
+                "llm_fixed": llm_fixed,
+            }
+            for bug_class, (attempted, template_fixed, llm_fixed)
+            in sorted(t4.by_class.items())
+        },
+        "fix_rate": t4.fix_rate,
+        "template_fix_rate": t4.template_fix_rate,
+        "templates_tried": t4.templates_tried,
+        "localization_accuracy": t4.localization_accuracy,
+        "digest": t4.digest(),
+    }
+    report.rendered["table4"] = t4.render()
     return report

@@ -24,7 +24,7 @@ from .pool import (
 from .repair.diagnosis import ParsedError, detect_flavor, parse_feedback
 from .repair.logic_strategies import enumerate_logic_edits
 from .repair.strategies import STRATEGIES, apply_strategy, declared_names
-from .simfix import LOGIC_CAPABILITY, SimulatedLogicDebugger
+from .simfix import LOGIC_CAPABILITY, PooledLogicModel, SimulatedLogicDebugger
 from .simulated import CAPABILITY, CATEGORY_DELTA, ROUND_SUCCESS, SimulatedLLM
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "ChatMessage",
     "LLMPool",
     "OpenAIChatClient",
+    "PooledLogicModel",
     "PooledRepairModel",
     "PooledRepairSession",
     "RoutingSpec",

@@ -85,3 +85,113 @@ class LogicDebugSession:
             code=code,
             declared_done=True,
         )
+
+
+class PooledLogicModel:
+    """Logic-debug sessions routed across an LLM-pool escalation ladder.
+
+    The functional-repair counterpart of
+    :class:`~repro.llm.pool.PooledRepairModel`: the session starts on
+    the ladder rung matching ``tier`` (same exact-tier / family / first
+    resolution as :meth:`~repro.llm.pool.LLMPool.base_index`) and climbs
+    one rung after every ``escalate_after`` failed iterations reported
+    through the duck-typed ``observe`` seam.  Every step is booked
+    against the active :class:`~repro.runtime.TokenCounter` at the
+    member tier's prices, so ``report.llm`` covers the functional
+    workload exactly like the syntax one.
+
+    With escalation disabled and a ladder whose base rung matches
+    ``tier``, results are bit-identical to the direct
+    :class:`SimulatedLogicDebugger` (sessions are keyed by the same
+    ``(seed, tier-key, difficulty, code)``); the pool only *adds*
+    accounting, which is runtime telemetry outside report digests.
+    """
+
+    def __init__(self, routing, tier: str = "gpt-3.5-sim", seed: int = 0):
+        self.routing = routing
+        self.tier = tier
+        self.seed = seed
+
+    @property
+    def name(self) -> str:
+        # Like PooledRepairModel: reports see the requested tier, so
+        # pooled and direct runs label identically.
+        return f"{self.tier}-logic"
+
+    def with_seed(self, seed: int) -> "PooledLogicModel":
+        return PooledLogicModel(self.routing, tier=self.tier, seed=seed)
+
+    def base_index(self) -> int:
+        """The ladder rung sessions start on: first member of the exact
+        tier, else of the same family, else 0."""
+        from .pool import _tier_family
+
+        for index, member in enumerate(self.routing.members):
+            if member.tier == self.tier:
+                return index
+        family = _tier_family(self.tier)
+        for index, member in enumerate(self.routing.members):
+            if _tier_family(member.tier) == family:
+                return index
+        return 0
+
+    def start(self, code: str, difficulty: str = "hard") -> "PooledLogicSession":
+        return PooledLogicSession(self, code, difficulty)
+
+
+class PooledLogicSession:
+    """One logic-debugging conversation with tier escalation."""
+
+    def __init__(self, model: PooledLogicModel, code: str, difficulty: str):
+        self.model = model
+        self.routing = model.routing
+        self.difficulty = difficulty
+        self.base = model.base_index()
+        self.failed_rounds = 0
+        self._rung: int | None = None
+        self._session: LogicDebugSession | None = None
+
+    def observe(self, success: bool) -> None:
+        """The engine's per-iteration outcome (escalation signal)."""
+        if not success:
+            self.failed_rounds += 1
+
+    @property
+    def member_index(self) -> int:
+        """The ladder rung the next step will run on."""
+        if self.routing.escalate_after <= 0:
+            return self.base
+        climb = self.failed_rounds // self.routing.escalate_after
+        return min(self.base + climb, len(self.routing.members) - 1)
+
+    def step(self, code: str, feedback: str) -> RepairStep:
+        from ..runtime.accounting import estimate_tokens, get_active_token_counter
+
+        index = self.member_index
+        escalated = False
+        if self._session is None or self._rung != index:
+            # A fresh per-rung session seeded from the current code --
+            # the stronger tier re-derives its own capability and
+            # candidate walk, like a new model joining the conversation.
+            escalated = self._rung is not None and index > self._rung
+            member = self.routing.members[index]
+            debugger = SimulatedLogicDebugger(
+                tier=member.tier, seed=self.model.seed
+            )
+            self._session = debugger.start(code, self.difficulty)
+            self._rung = index
+        member = self.routing.members[index]
+        step = self._session.step(code, feedback)
+        prompt_tokens = estimate_tokens(code) + estimate_tokens(feedback)
+        completion_tokens = (
+            estimate_tokens(step.thought) + estimate_tokens(step.code)
+        )
+        prompt_price, completion_price = member.prices
+        cost = (
+            prompt_tokens * prompt_price + completion_tokens * completion_price
+        ) / 1000.0
+        get_active_token_counter().record_call(
+            member.name, prompt_tokens, completion_tokens, cost,
+            escalated=escalated,
+        )
+        return step

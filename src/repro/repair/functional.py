@@ -1,0 +1,96 @@
+"""The Table-4 functional-repair configuration of the engine.
+
+Trace-diff localization feeding a breadth-first template search, with
+LLM escalation when the templates dry up: the full
+detect → localize → propose → verify stack over the compiled
+differential simulator.  This is the workload configuration --
+the legacy-equivalent :class:`~repro.agents.simfix.SimDebugAgent`
+deliberately runs *without* the localizer and templates so its
+transcripts stay bit-identical to the pre-refactor loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..diagnostics import Compiler
+from .base import EngineConfig, RepairOutcome
+from .engine import RepairEngine
+from .localizers import TraceDiffLocalizer
+from .oracles import SimOracle
+from .proposers import FallbackProposer, LogicModelProposer
+from .templates import TemplateProposer
+
+#: The functional workload's engine knobs: Simulator action, 2-line
+#: action input, hill-climbing acceptance, keep going while any
+#: proposer in the chain has candidates, give-up turn on exhaustion.
+FUNCTIONAL_CONFIG = EngineConfig(
+    action="Simulator",
+    head_lines=2,
+    accept="improving",
+    finish_thought=None,
+    initial_finish=None,
+    stop_after_done=False,
+    give_up_turn=True,
+    deadline_stage="sim-iteration",
+)
+
+
+def _default_logic_model():
+    """Direct simulated debugger, or the pool-routed variant when an
+    ambient :func:`~repro.llm.pool.get_default_llm_routing` spec is in
+    scope (tier escalation + token accounting for the workload)."""
+    from ..llm.pool import get_default_llm_routing
+    from ..llm.simfix import PooledLogicModel, SimulatedLogicDebugger
+
+    routing = get_default_llm_routing()
+    if routing is not None:
+        return PooledLogicModel(routing)
+    return SimulatedLogicDebugger()
+
+
+def build_functional_engine(
+    reference_code: str,
+    model=None,
+    difficulty: str = "hard",
+    max_iterations: int = 24,
+    sim_samples: int = 16,
+    sim_limits=None,
+    max_template_candidates: int = 64,
+    localize: bool = True,
+    on_turn=None,
+) -> RepairEngine:
+    """Assemble the Table-4 engine for one golden reference."""
+    compiler = Compiler()
+    oracle = SimOracle(
+        reference_code, compiler=compiler, samples=sim_samples,
+        sim_limits=sim_limits,
+    )
+    if model is None:
+        model = _default_logic_model()
+    localizer: Optional[TraceDiffLocalizer] = None
+    if localize and oracle.reference is not None:
+        localizer = TraceDiffLocalizer(
+            oracle.reference, compiler=compiler, samples=sim_samples,
+            sim_limits=sim_limits,
+        )
+    proposer = FallbackProposer(
+        TemplateProposer(max_candidates=max_template_candidates),
+        LogicModelProposer(model, difficulty),
+    )
+    config = replace(FUNCTIONAL_CONFIG, max_iterations=max_iterations)
+    return RepairEngine(
+        oracle, proposer, localizer=localizer, config=config, on_turn=on_turn,
+    )
+
+
+def repair_functional(
+    code: str,
+    reference_code: str,
+    **engine_kwargs,
+) -> RepairOutcome:
+    """One-call functional repair of ``code`` against a golden
+    reference; keyword arguments go to :func:`build_functional_engine`."""
+    engine = build_functional_engine(reference_code, **engine_kwargs)
+    return engine.run(code)

@@ -1,0 +1,265 @@
+"""Frozen pre-refactor repair loops -- the equivalence reference.
+
+These are verbatim copies of the hand-rolled ``ReActAgent.run`` and
+``SimDebugAgent.run`` bodies as they stood *before* the repair-engine
+refactor, kept deliberately self-contained (own ``_head`` /
+``_record_rule_fix`` copies, no imports from the engine) so that
+``scripts/repair_diff.py`` and the golden-transcript equivalence suite
+can prosecute the engine's bit-identity claim against an independent
+implementation forever, not against code that shares the bug surface
+under test.
+
+Do not "clean these up" to use the engine: their whole value is that
+they do not.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..diagnostics import Compiler
+from ..llm.base import RepairModel
+from ..llm.simfix import SimulatedLogicDebugger
+from ..rag.retrievers import Retriever
+from ..service.deadline import current_deadline
+from ..sim.feedback import make_sim_feedback
+from .transcript import Transcript, Turn
+
+
+class LegacyAgentResult:
+    """Outcome shape of the pre-refactor ReAct loop."""
+
+    def __init__(self, success, final_code, iterations, transcript,
+                 rule_fixed=False):
+        self.success = success
+        self.final_code = final_code
+        self.iterations = iterations
+        self.transcript = transcript
+        self.rule_fixed = rule_fixed
+
+    @property
+    def gave_up(self) -> bool:
+        return not self.success
+
+
+class LegacySimFixResult:
+    """Outcome shape of the pre-refactor simulation-debugging loop."""
+
+    def __init__(self, success, final_code, iterations,
+                 initial_mismatches=0, final_mismatches=0, transcript=None):
+        self.success = success
+        self.final_code = final_code
+        self.iterations = iterations
+        self.initial_mismatches = initial_mismatches
+        self.final_mismatches = final_mismatches
+        self.transcript = transcript if transcript is not None else Transcript()
+
+
+class LegacyReActAgent:
+    """The pre-refactor hand-rolled ReAct loop (reference only)."""
+
+    def __init__(
+        self,
+        model: RepairModel,
+        compiler: Compiler,
+        retriever: Optional[Retriever] = None,
+        max_iterations: int = 10,
+        apply_rule_fix: bool = True,
+        on_turn: Optional[Callable[[Turn], None]] = None,
+    ):
+        self.model = model
+        self.compiler = compiler
+        self.retriever = retriever
+        self.max_iterations = max_iterations
+        self.apply_rule_fix = apply_rule_fix
+        self.on_turn = on_turn
+
+    def _record(self, transcript: Transcript, **turn_fields) -> Turn:
+        turn = transcript.add(**turn_fields)
+        if self.on_turn is not None:
+            self.on_turn(turn)
+        return turn
+
+    def run(self, code: str, description: str = "") -> LegacyAgentResult:
+        from ..core.rulefix import rule_fix  # deferred, as in the original
+
+        transcript = Transcript()
+        rule_fixed = False
+        if self.apply_rule_fix:
+            rule_result = rule_fix(code)
+            rule_fixed = _record_rule_fix(transcript, code, rule_result)
+            if rule_fixed and self.on_turn is not None:
+                self.on_turn(transcript.turns[-1])
+            code = rule_result.code
+
+        result = self.compiler.compile(code)
+        if result.ok:
+            self._record(
+                transcript,
+                thought=(
+                    "The rule-based fixes made the module compile cleanly; "
+                    "no model repair needed."
+                    if rule_fixed
+                    else "The module compiles cleanly; no repair needed."
+                ),
+                action="Finish", action_input="answer", observation="",
+            )
+            return LegacyAgentResult(success=True, final_code=code, iterations=0,
+                                     transcript=transcript, rule_fixed=rule_fixed)
+
+        session = self.model.start(
+            code, flavor=self.compiler.flavor, use_rag=self.retriever is not None
+        )
+
+        iterations = 0
+        for _ in range(self.max_iterations):
+            deadline = current_deadline()
+            if deadline is not None:
+                deadline.check(stage="react-iteration")
+            feedback = result.log
+            guidance = []
+            crashed = getattr(result, "crashed", False)
+            if self.retriever is not None and feedback and not crashed:
+                guidance = [r.entry for r in self.retriever.retrieve(feedback)]
+                if guidance:
+                    self._record(
+                        transcript,
+                        thought="I should look up expert guidance for this "
+                        "compiler log.",
+                        action="RAG",
+                        action_input=feedback.split("\n")[0],
+                        observation=guidance[0].guidance,
+                    )
+
+            step = session.step(code, feedback, guidance)
+            iterations += 1
+            code = step.code
+            result = self.compiler.compile(code)
+            notice = getattr(session, "observe", None)
+            if callable(notice):
+                notice(result.ok)
+            self._record(
+                transcript,
+                thought=step.thought,
+                action="Compiler",
+                action_input=_head(code),
+                observation=result.log,
+            )
+            if result.ok:
+                self._record(
+                    transcript,
+                    thought="The compiler reports no errors; the syntax "
+                    "error is resolved.",
+                    action="Finish", action_input="answer", observation="",
+                )
+                return LegacyAgentResult(success=True, final_code=code,
+                                         iterations=iterations,
+                                         transcript=transcript,
+                                         rule_fixed=rule_fixed)
+            if step.declared_done:
+                break
+        return LegacyAgentResult(success=False, final_code=code,
+                                 iterations=iterations, transcript=transcript,
+                                 rule_fixed=rule_fixed)
+
+
+class LegacySimDebugAgent:
+    """The pre-refactor hand-rolled simulation loop (reference only)."""
+
+    def __init__(
+        self,
+        model: SimulatedLogicDebugger | None = None,
+        max_iterations: int = 8,
+        sim_samples: int = 16,
+        sim_limits=None,
+    ):
+        self.model = model or SimulatedLogicDebugger()
+        self.max_iterations = max_iterations
+        self.sim_samples = sim_samples
+        self.sim_limits = sim_limits
+        self.compiler = Compiler()
+
+    def run(
+        self, code: str, reference_code: str, difficulty: str = "hard"
+    ) -> LegacySimFixResult:
+        transcript = Transcript()
+        reference = self.compiler.compile(reference_code).elaborated
+        compiled = self.compiler.compile(code)
+        if not compiled.ok or compiled.elaborated is None or reference is None:
+            return LegacySimFixResult(
+                success=False, final_code=code, iterations=0,
+                transcript=transcript,
+            )
+
+        feedback = make_sim_feedback(
+            compiled.elaborated, reference, samples=self.sim_samples,
+            sim_limits=self.sim_limits,
+        )
+        best_code = code
+        best_mismatches = feedback.mismatch_count
+        initial = feedback.mismatch_count
+        if feedback.passed:
+            return LegacySimFixResult(
+                success=True, final_code=code, iterations=0,
+                initial_mismatches=0, final_mismatches=0, transcript=transcript,
+            )
+
+        session = self.model.start(code, difficulty)
+        iterations = 0
+        for _ in range(self.max_iterations):
+            step = session.step(best_code, feedback.text)
+            if step.declared_done and step.code == best_code:
+                transcript.add(step.thought, "Finish", "give up", feedback.text)
+                break
+            iterations += 1
+            compiled = self.compiler.compile(step.code)
+            if not compiled.ok or compiled.elaborated is None:
+                transcript.add(step.thought, "Simulator", _head(step.code, 2),
+                               "edit broke compilation; reverted")
+                continue
+            candidate_feedback = make_sim_feedback(
+                compiled.elaborated, reference, samples=self.sim_samples,
+                sim_limits=self.sim_limits,
+            )
+            transcript.add(
+                step.thought, "Simulator", _head(step.code, 2),
+                candidate_feedback.text.split("\n")[0],
+            )
+            if candidate_feedback.passed:
+                return LegacySimFixResult(
+                    success=True, final_code=step.code, iterations=iterations,
+                    initial_mismatches=initial, final_mismatches=0,
+                    transcript=transcript,
+                )
+            if candidate_feedback.mismatch_count < best_mismatches:
+                best_code = step.code
+                best_mismatches = candidate_feedback.mismatch_count
+                feedback = candidate_feedback
+        return LegacySimFixResult(
+            success=False, final_code=best_code, iterations=iterations,
+            initial_mismatches=initial, final_mismatches=best_mismatches,
+            transcript=transcript,
+        )
+
+
+def _record_rule_fix(transcript: Transcript, original: str, rule_result) -> bool:
+    if rule_result.code.strip() == original.strip():
+        return False
+    notes = []
+    if rule_result.extracted_from_markdown:
+        notes.append("extracted the Verilog from the surrounding text")
+    if rule_result.moved_timescale:
+        notes.append("hoisted the `timescale directive to the file top")
+    if not notes:
+        notes.append("normalized the module text")
+    transcript.add(
+        thought="Apply the rule-based pre-fixer before consulting the model.",
+        action="RuleFix",
+        action_input=_head(original),
+        observation="; ".join(notes),
+    )
+    return True
+
+
+def _head(code: str, lines: int = 3) -> str:
+    return "\n".join(code.strip().split("\n")[:lines])

@@ -1,0 +1,228 @@
+"""Parameterized repair templates and the breadth-first template search.
+
+rtl-repair-style: instead of asking a model to invent an edit, apply a
+small grammar of single-site semantic rewrites -- invert a condition,
+swap an operator, nudge a constant by one, swap a pair of signals --
+at every applicable site, and let the compiled differential simulator
+judge the results.  Each template mirrors one class of the dataset's
+logic mutations (:mod:`repro.dataset.mutate`), which is exactly the
+fault model the Table-4 workload injects.
+
+:class:`TemplateProposer` searches the edits breadth-first with greedy
+re-rooting: one level enumerates every template at every site of the
+current best candidate, ordered so edits on localizer-suspected lines
+go first; whenever the engine accepts an improvement the search
+re-roots on it and enumerates the next level.  Candidates that do not
+even compile are filtered before they cost a simulation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..runtime import cached_compile
+from .base import Localization, OracleVerdict
+
+
+@dataclass(frozen=True)
+class TemplateEdit:
+    """One concrete rewrite produced by one template at one site."""
+
+    code: str
+    #: 1-based source line of the edited site (ranking key).
+    line: int
+    template: str
+    description: str
+
+
+def _line_of(code: str, offset: int) -> int:
+    return code.count("\n", 0, offset) + 1
+
+
+def _splice(code: str, start: int, end: int, replacement: str) -> str:
+    return code[:start] + replacement + code[end:]
+
+
+def invert_condition(code: str) -> list[TemplateEdit]:
+    """Toggle the negation of every ``if (signal)`` condition."""
+    edits = []
+    for site in re.finditer(r"if \((!?)(\w+)\)", code):
+        negated, signal = site.group(1), site.group(2)
+        replacement = f"if ({signal})" if negated else f"if (!{signal})"
+        edits.append(TemplateEdit(
+            code=_splice(code, site.start(), site.end(), replacement),
+            line=_line_of(code, site.start()),
+            template="invert_condition",
+            description=f"{'drop' if negated else 'add'} negation on "
+            f"if ({signal})",
+        ))
+    return edits
+
+
+#: Binary-operator swaps: each site rewrites to its counterpart.
+_OPERATOR_FLIPS = {
+    "&": "|", "|": "&",
+    "+": "-", "-": "+",
+    "<": ">", ">": "<",
+    "==": "!=", "!=": "==",
+}
+
+
+def swap_operator(code: str) -> list[TemplateEdit]:
+    """Swap one binary operator (``& | + - < > == !=``) or clock edge."""
+    edits = []
+    for site in re.finditer(r" (==|!=|[&|+\-<>]) ", code):
+        operator = site.group(1)
+        flipped = _OPERATOR_FLIPS[operator]
+        edits.append(TemplateEdit(
+            code=_splice(code, site.start(), site.end(), f" {flipped} "),
+            line=_line_of(code, site.start()),
+            template="swap_operator",
+            description=f"swap {operator} for {flipped}",
+        ))
+    for site in re.finditer(r"\b(posedge|negedge)\b", code):
+        edge = site.group(1)
+        flipped = "negedge" if edge == "posedge" else "posedge"
+        edits.append(TemplateEdit(
+            code=_splice(code, site.start(), site.end(), flipped),
+            line=_line_of(code, site.start()),
+            template="swap_operator",
+            description=f"clock on {flipped} instead of {edge}",
+        ))
+    return edits
+
+
+def off_by_one_constant(code: str) -> list[TemplateEdit]:
+    """Nudge every sized decimal literal by ±1 (mod its width)."""
+    edits = []
+    for site in re.finditer(r"(\d+)'d(\d+)", code):
+        width, value = int(site.group(1)), int(site.group(2))
+        modulus = 1 << width
+        for delta in (1, -1):
+            nudged = (value + delta) % modulus
+            edits.append(TemplateEdit(
+                code=_splice(code, site.start(), site.end(),
+                             f"{width}'d{nudged}"),
+                line=_line_of(code, site.start()),
+                template="off_by_one_constant",
+                description=f"{width}'d{value} -> {width}'d{nudged}",
+            ))
+    return edits
+
+
+def swap_signals(code: str) -> list[TemplateEdit]:
+    """Exchange a pair of signals: ternary arms, or the operands of a
+    non-commutative binary operator."""
+    edits = []
+    for site in re.finditer(r"\? ([\w\[\]':]+) : ([\w\[\]':]+)", code):
+        left, right = site.group(1), site.group(2)
+        if left == right:
+            continue
+        edits.append(TemplateEdit(
+            code=_splice(code, site.start(), site.end(),
+                         f"? {right} : {left}"),
+            line=_line_of(code, site.start()),
+            template="swap_signals",
+            description=f"swap ternary arms {left} / {right}",
+        ))
+    for site in re.finditer(r"\b(\w+) (-|<|>) (\w+)\b", code):
+        left, operator, right = site.group(1), site.group(2), site.group(3)
+        if left == right:
+            continue
+        edits.append(TemplateEdit(
+            code=_splice(code, site.start(), site.end(),
+                         f"{right} {operator} {left}"),
+            line=_line_of(code, site.start()),
+            template="swap_signals",
+            description=f"swap operands of {left} {operator} {right}",
+        ))
+    return edits
+
+
+#: The template grammar, in canonical application order.
+TEMPLATES: tuple[Callable[[str], list[TemplateEdit]], ...] = (
+    invert_condition,
+    swap_operator,
+    off_by_one_constant,
+    swap_signals,
+)
+
+
+class TemplateProposer:
+    """Breadth-first template search as a repair-engine proposer."""
+
+    name = "template"
+
+    def __init__(self, templates=TEMPLATES, max_candidates: int = 64):
+        self.templates = tuple(templates)
+        #: Total proposals this search may make before declaring done
+        #: (the engine's ``max_iterations`` bounds verifications too).
+        self.max_candidates = max_candidates
+
+    def start(self, code: str, verdict: OracleVerdict) -> "TemplateSession":
+        return TemplateSession(self.templates, self.max_candidates)
+
+
+class TemplateSession:
+    """One template search: a level per accepted root, suspects first."""
+
+    active_name = "template"
+
+    def __init__(self, templates, max_candidates: int):
+        self.templates = templates
+        self.max_candidates = max_candidates
+        self._root: Optional[str] = None
+        self._queue: list[TemplateEdit] = []
+        self._tried: set[str] = set()
+        self._proposed = 0
+        self.stats = {"templates_enumerated": 0, "templates_tried": 0}
+
+    def _enumerate(self, code: str,
+                   localization: Optional[Localization]) -> list[TemplateEdit]:
+        edits: list[TemplateEdit] = []
+        for template in self.templates:
+            edits.extend(template(code))
+        self.stats["templates_enumerated"] += len(edits)
+        rank: dict[int, int] = {}
+        if localization is not None:
+            for position, line in enumerate(localization.suspect_lines):
+                rank.setdefault(line, position)
+        # Stable sort: suspect-ranked lines first, enumeration order
+        # within a rank -- fully deterministic.
+        edits.sort(key=lambda edit: rank.get(edit.line, len(rank) + 1))
+        return edits
+
+    def propose(self, code: str, verdict: OracleVerdict,
+                localization: Optional[Localization]):
+        from ..llm.base import RepairStep
+
+        if self._root != code:
+            # The engine accepted an improvement (or this is the first
+            # round): re-root and enumerate the next BFS level.
+            self._root = code
+            self._queue = self._enumerate(code, localization)
+        while self._queue and self._proposed < self.max_candidates:
+            edit = self._queue.pop(0)
+            if edit.code == code or edit.code in self._tried:
+                continue
+            # Pre-filter through the content-addressed compile cache:
+            # an uncompilable rewrite must not cost a simulation (or a
+            # wasted engine iteration).
+            if not cached_compile(edit.code).ok:
+                continue
+            self._tried.add(edit.code)
+            self._proposed += 1
+            self.stats["templates_tried"] += 1
+            return RepairStep(
+                thought=f"Apply repair template {edit.template} "
+                f"(line {edit.line}: {edit.description}) and re-simulate.",
+                code=edit.code,
+            )
+        return RepairStep(
+            thought="The repair templates are exhausted without matching "
+            "the reference behaviour.",
+            code=code,
+            declared_done=True,
+        )

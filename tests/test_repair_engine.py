@@ -1,0 +1,400 @@
+"""Tests for the generic repair engine (:mod:`repro.repair`).
+
+The load-bearing suite for the refactor: golden-transcript equivalence
+between the legacy hand-rolled loops and their engine-backed rewrites,
+unit tests for the trace-diff localizer and every repair template, the
+service seams (deadline, on_turn) on functional repair, the Table-4
+workload's determinism, and the pooled logic model's identity and
+accounting.
+"""
+
+import random
+
+import pytest
+
+from repro.agents import ReActAgent, SimDebugAgent
+from repro.dataset.corpus import verilogeval
+from repro.dataset.curate import build_syntax_dataset
+from repro.dataset.mutate import (
+    force_behavior_change,
+    mutate_logic,
+    mutate_logic_labeled,
+)
+from repro.diagnostics import Compiler
+from repro.errors import DeadlineExceededError
+from repro.llm import SimulatedLLM, SimulatedLogicDebugger
+from repro.llm.pool import RoutingSpec, use_llm_routing
+from repro.llm.simfix import PooledLogicModel
+from repro.rag import ExactTagRetriever, build_default_database
+from repro.repair import (
+    TEMPLATES,
+    RepairEngine,
+    TemplateProposer,
+    TraceDiffLocalizer,
+    repair_functional,
+    result_digest,
+    suspect_lines,
+)
+from repro.repair.legacy import LegacyReActAgent, LegacySimDebugAgent
+from repro.repair.templates import (
+    invert_condition,
+    off_by_one_constant,
+    swap_operator,
+    swap_signals,
+)
+from repro.runtime import (
+    CompileCache,
+    TokenCounter,
+    use_compile_cache,
+    use_token_counter,
+)
+from repro.service import Deadline, use_deadline
+
+DB = build_default_database()
+
+
+def _react_pair(flavor, rag, seed):
+    """A (legacy, engine) ReAct agent pair with identical configuration."""
+    retriever = ExactTagRetriever(DB, flavor) if rag else None
+    legacy = LegacyReActAgent(
+        model=SimulatedLLM(seed=seed), compiler=Compiler(flavor=flavor),
+        retriever=retriever,
+    )
+    modern = ReActAgent(
+        model=SimulatedLLM(seed=seed), compiler=Compiler(flavor=flavor),
+        retriever=ExactTagRetriever(DB, flavor) if rag else None,
+    )
+    return legacy, modern
+
+
+class TestGoldenEquivalence:
+    """Legacy and engine-backed loops must be digest-identical."""
+
+    def test_react_corpus_equivalence(self):
+        dataset = build_syntax_dataset(
+            verilogeval(), samples_per_problem=2, target_size=10
+        )
+        assert len(dataset) > 0
+        mismatches = []
+        with use_compile_cache(CompileCache()):
+            for flavor, rag, seed in (
+                ("quartus", True, 0), ("iverilog", False, 3)
+            ):
+                legacy, modern = _react_pair(flavor, rag, seed)
+                for entry in dataset:
+                    want = result_digest(legacy.run(entry.code))
+                    got = result_digest(modern.run(entry.code))
+                    if want != got:
+                        mismatches.append((flavor, rag, seed, entry.problem_id))
+        assert mismatches == []
+
+    def test_simfix_corpus_equivalence(self):
+        problems = list(verilogeval())[:6]
+        mismatches = []
+        with use_compile_cache(CompileCache()):
+            for seed in (0, 1):
+                for problem in problems:
+                    rng = random.Random(f"eq|{seed}|{problem.id}")
+                    buggy = mutate_logic(problem.reference, rng)
+                    if buggy == problem.reference:
+                        buggy = force_behavior_change(problem.reference)
+                        if buggy is None:
+                            continue
+                    legacy = LegacySimDebugAgent(
+                        model=SimulatedLogicDebugger(seed=seed)
+                    )
+                    modern = SimDebugAgent(
+                        model=SimulatedLogicDebugger(seed=seed)
+                    )
+                    want = result_digest(
+                        legacy.run(buggy, problem.reference, problem.difficulty)
+                    )
+                    got = result_digest(
+                        modern.run(buggy, problem.reference, problem.difficulty)
+                    )
+                    if want != got:
+                        mismatches.append((seed, problem.id))
+        assert mismatches == []
+
+    def test_digest_covers_transcript(self):
+        agent = ReActAgent(
+            model=SimulatedLLM(seed=0), compiler=Compiler(flavor="quartus")
+        )
+        good = "module m(input a, output y);\nassign y = a;\nendmodule\n"
+        first = agent.run(good)
+        second = agent.run(good)
+        assert result_digest(first) == result_digest(second)
+
+
+REF_TWO_OUT = (
+    "module m(input a, input b, output x, output y);\n"
+    "assign x = a & b;\n"
+    "assign y = a | b;\n"
+    "endmodule\n"
+)
+#: Single seeded fault: x's AND became OR (line 2 is the culprit).
+BUGGY_TWO_OUT = REF_TWO_OUT.replace("x = a & b", "x = a | b")
+
+
+class TestTraceDiffLocalizer:
+    def test_ranks_faulty_signal_first(self):
+        loc = TraceDiffLocalizer(
+            Compiler().compile(REF_TWO_OUT).elaborated
+        ).localize(BUGGY_TWO_OUT)
+        assert loc.suspects, "mismatching design must yield suspects"
+        assert loc.suspects[0].signal == "x"
+        assert loc.suspects[0].line == 2
+
+    def test_suspect_lines_cover_the_mutated_line(self):
+        loc = TraceDiffLocalizer(
+            Compiler().compile(REF_TWO_OUT).elaborated
+        ).localize(BUGGY_TWO_OUT)
+        assert 2 in loc.suspect_lines
+        # y is clean on every sample: its driver must not outrank x's.
+        assert loc.suspect_lines[0] == 2
+
+    def test_clean_candidate_localizes_to_nothing(self):
+        loc = TraceDiffLocalizer(
+            Compiler().compile(REF_TWO_OUT).elaborated
+        ).localize(REF_TWO_OUT)
+        assert loc.suspects == []
+
+    def test_uncompilable_candidate_localizes_to_nothing(self):
+        loc = TraceDiffLocalizer(
+            Compiler().compile(REF_TWO_OUT).elaborated
+        ).localize("module m(oops\n")
+        assert loc.suspects == []
+
+    def test_memoizes_per_candidate(self):
+        localizer = TraceDiffLocalizer(
+            Compiler().compile(REF_TWO_OUT).elaborated
+        )
+        first = localizer.localize(BUGGY_TWO_OUT)
+        assert localizer.localize(BUGGY_TWO_OUT) is first
+
+    def test_suspect_lines_helper_orders_drivers_first(self):
+        code = (
+            "module m(input a, output y);\n"
+            "wire t;\n"
+            "assign t = ~a;\n"
+            "assign y = t;\n"
+            "endmodule\n"
+        )
+        lines = suspect_lines(code, "y")
+        assert lines[0] == 4          # y's driver
+        assert lines[1] == 3          # one hop of fan-in (t's driver)
+
+
+class TestTemplates:
+    def test_invert_condition_both_directions(self):
+        added = invert_condition("if (en) q = d;")
+        assert [e.code for e in added] == ["if (!en) q = d;"]
+        dropped = invert_condition("if (!en) q = d;")
+        assert [e.code for e in dropped] == ["if (en) q = d;"]
+
+    def test_swap_operator_flips_and_edges(self):
+        edits = swap_operator("assign y = a & b;\nalways @(posedge clk)")
+        codes = {e.code for e in edits}
+        assert "assign y = a | b;\nalways @(posedge clk)" in codes
+        assert "assign y = a & b;\nalways @(negedge clk)" in codes
+
+    def test_off_by_one_wraps_modulo_width(self):
+        edits = off_by_one_constant("assign y = 2'd3;")
+        codes = {e.code for e in edits}
+        assert codes == {"assign y = 2'd0;", "assign y = 2'd2;"}
+
+    def test_swap_signals_ternary_and_operands(self):
+        edits = swap_signals("assign y = s ? a : b;")
+        assert any(e.code == "assign y = s ? b : a;" for e in edits)
+        edits = swap_signals("assign y = a - b;")
+        assert any(e.code == "assign y = b - a;" for e in edits)
+
+    def test_swap_signals_skips_identical_pair(self):
+        assert swap_signals("assign y = s ? a : a;") == []
+
+    def test_every_template_reports_its_site_line(self):
+        code = "module m;\nreg q;\nalways @(*) if (q) q = 1'd0;\nendmodule\n"
+        for template in TEMPLATES:
+            for edit in template(code):
+                assert edit.line >= 1
+                assert edit.template == template.__name__
+
+    def test_template_session_orders_suspect_lines_first(self):
+        from repro.repair.base import Localization, OracleVerdict, Suspect
+
+        code = "assign x = a & b;\nassign y = c & d;\n"
+        session = TemplateProposer().start(code, OracleVerdict(
+            ok=False, score=2, feedback="", observation=""
+        ))
+        loc = Localization(suspects=[
+            Suspect(signal="y", line=2, score=1.0),
+        ])
+        with use_compile_cache(CompileCache()):
+            # Bare assigns never compile standalone; disable the filter
+            # by enumerating directly.
+            edits = session._enumerate(code, loc)
+        assert edits[0].line == 2
+
+
+REF_GATE = "module m(input a, input b, output y);\nassign y = a & b;\nendmodule\n"
+BUGGY_GATE = REF_GATE.replace("a & b", "a | b")
+
+
+class TestServiceSeams:
+    """Satellite 1: functional repair honours Deadline and on_turn."""
+
+    def test_simfix_504s_mid_run(self):
+        now = [0.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        now[0] = 60.0  # budget evaporates before the first iteration
+        agent = SimDebugAgent(model=SimulatedLogicDebugger())
+        with use_deadline(deadline):
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                agent.run(BUGGY_GATE, REF_GATE, "easy")
+        # Whichever checkpoint fires first: the simulator's own
+        # mid-simulation check or the engine's per-iteration check.
+        assert excinfo.value.stage in ("sim-cycle", "sim-iteration")
+
+    def test_functional_engine_504s_mid_run(self):
+        now = [0.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        now[0] = 60.0
+        with use_deadline(deadline):
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                repair_functional(BUGGY_GATE, REF_GATE, difficulty="easy")
+        assert excinfo.value.stage in ("sim-cycle", "sim-iteration")
+
+    def test_engine_iteration_checkpoint_is_sim_iteration(self):
+        """The engine itself (oracle held constant) checks the ambient
+        deadline at the top of every iteration, at the configured
+        stage."""
+        from repro.agents.simfix import _SIMFIX_CONFIG
+        from repro.repair.base import OracleVerdict
+
+        class FailingOracle:
+            action = "Simulator"
+
+            def check(self, code):
+                return OracleVerdict(
+                    ok=False, score=5, feedback="mismatch", observation="5",
+                )
+
+        # The oracle's initial check passes (clock still fresh), then
+        # the budget evaporates before iteration 1.
+        now = [0.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+
+        class ExpiringProposer:
+            def start(self, code, verdict):
+                now[0] = 60.0
+                return self
+
+        engine = RepairEngine(FailingOracle(), ExpiringProposer(),
+                              config=_SIMFIX_CONFIG)
+        with use_deadline(deadline):
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                engine.run("module m;\nendmodule\n")
+        assert excinfo.value.stage == "sim-iteration"
+
+    def test_simfix_on_turn_observes_every_turn(self):
+        observed = []
+        agent = SimDebugAgent(
+            model=SimulatedLogicDebugger(), on_turn=observed.append
+        )
+        result = agent.run(BUGGY_GATE, REF_GATE, "easy")
+        assert result.transcript.turns, "run must record at least one turn"
+        assert observed == list(result.transcript.turns)
+
+    def test_simfix_on_turn_reassignable_after_construction(self):
+        agent = SimDebugAgent(model=SimulatedLogicDebugger())
+        observed = []
+        agent.on_turn = observed.append  # the repair server does this
+        result = agent.run(BUGGY_GATE, REF_GATE, "easy")
+        assert observed == list(result.transcript.turns)
+
+
+class TestTable4:
+    def test_labeled_mutator_matches_unlabeled_draws(self):
+        reference = list(verilogeval())[2].reference
+        labeled_rng = random.Random("tag")
+        plain_rng = random.Random("tag")
+        mutated, bug_class = mutate_logic_labeled(reference, labeled_rng)
+        assert mutated == mutate_logic(reference, plain_rng)
+        assert isinstance(bug_class, str) and bug_class
+
+    def test_run_table4_deterministic_and_templates_fix(self):
+        from repro.dataset.problem import ProblemSet
+        from repro.eval.experiments import run_table4
+
+        problems = ProblemSet("t4", list(verilogeval())[:8])
+        with use_compile_cache(CompileCache()):
+            first = run_table4(problems, samples_per_problem=1, seed=0)
+            second = run_table4(problems, samples_per_problem=1, seed=0)
+        assert first.digest() == second.digest()
+        attempted, template_fixed, _ = first.totals()
+        assert attempted > 0
+        assert template_fixed > 0, "template-only fix rate must be nonzero"
+        assert 0.0 <= first.localization_accuracy <= 1.0
+
+    def test_run_table4_parallel_matches_serial(self):
+        from repro.dataset.problem import ProblemSet
+        from repro.eval.experiments import run_table4
+
+        problems = ProblemSet("t4p", list(verilogeval())[:4])
+        with use_compile_cache(CompileCache()):
+            serial = run_table4(problems, samples_per_problem=1, seed=0)
+            fanned = run_table4(problems, samples_per_problem=1, seed=0, jobs=2)
+        assert serial.digest() == fanned.digest()
+
+    def test_functional_repair_fixes_seeded_gate_swap(self):
+        with use_compile_cache(CompileCache()):
+            outcome = repair_functional(BUGGY_GATE, REF_GATE, difficulty="easy")
+        assert outcome.success
+        assert outcome.fixed_by == "template"
+        assert outcome.stats["templates_tried"] >= 1
+
+
+class TestPooledLogicModel:
+    """Satellite 2: functional repair on the pool surface."""
+
+    def test_same_tier_pool_is_digest_identical_to_direct(self):
+        routing = RoutingSpec.parse("cheap=gpt-3.5-sim")
+        problem = list(verilogeval())[2]
+        buggy = force_behavior_change(problem.reference)
+        assert buggy is not None
+        direct = SimDebugAgent(model=SimulatedLogicDebugger()).run(
+            buggy, problem.reference, problem.difficulty
+        )
+        with use_llm_routing(routing), use_token_counter(TokenCounter()):
+            pooled = SimDebugAgent().run(
+                buggy, problem.reference, problem.difficulty
+            )
+        assert result_digest(direct) == result_digest(pooled)
+
+    def test_pooled_steps_are_booked_against_the_counter(self):
+        routing = RoutingSpec.parse("cheap=gpt-3.5-sim")
+        counter = TokenCounter()
+        problem = list(verilogeval())[2]
+        buggy = force_behavior_change(problem.reference)
+        with use_llm_routing(routing), use_token_counter(counter):
+            SimDebugAgent().run(buggy, problem.reference, problem.difficulty)
+        ledger = counter.as_dict()
+        assert ledger["calls"] >= 1
+        assert ledger["total_tokens"] > 0
+        assert "cheap" in ledger["backends"]
+
+    def test_escalation_climbs_the_ladder(self):
+        routing = RoutingSpec.parse(
+            "cheap=gpt-3.5-sim,strong=gpt-4-sim", escalate_after=2
+        )
+        model = PooledLogicModel(routing)
+        session = model.start("module m;\nendmodule\n", "hard")
+        assert session.member_index == 0
+        for _ in range(4):
+            session.observe(False)
+        assert session.member_index == 1
+
+    def test_base_index_matches_requested_tier(self):
+        routing = RoutingSpec.parse("cheap=gpt-3.5-sim,strong=gpt-4-sim")
+        assert PooledLogicModel(routing, tier="gpt-4-sim").base_index() == 1
+        assert PooledLogicModel(routing, tier="gpt-3.5-sim").base_index() == 0
